@@ -1,0 +1,269 @@
+// sgxhost runs one simulated SGX machine as a network daemon: it can launch
+// enclaves from its built-in image registry, execute ecalls on behalf of
+// clients, act as the source of an enclave migration, and accept incoming
+// migrations — the two-machine deployment of the paper driven over TCP.
+//
+// Every party (both hosts and the sgxmigrate client) must share the same
+// -secret: it deterministically derives the enclave owner's keys and the
+// attestation-service identity, standing in for out-of-band key
+// distribution. Machine attestation keys are exchanged and registered when
+// hosts first talk to each other.
+//
+// Usage:
+//
+//	sgxhost -listen 127.0.0.1:7001 -name alpha  -secret demo &
+//	sgxhost -listen 127.0.0.1:7002 -name beta   -secret demo &
+//	sgxmigrate -from 127.0.0.1:7001 -to 127.0.0.1:7002
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/attest"
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/hostproto"
+	"repro/internal/sgx"
+	"repro/internal/testapps"
+	"repro/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "address to listen on")
+	name := flag.String("name", "host", "machine name")
+	secret := flag.String("secret", "", "shared deployment secret (required)")
+	epc := flag.Int("epc", 8192, "EPC frames")
+	flag.Parse()
+	if *secret == "" {
+		log.Fatal("sgxhost: -secret is required")
+	}
+	if err := run(*listen, *name, *secret, *epc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type server struct {
+	mu       sync.Mutex
+	name     string
+	machine  *sgx.Machine
+	host     *enclave.Host
+	service  *attest.Service
+	owner    *core.Owner
+	registry *core.Registry
+	next     int
+	enclaves map[string]*enclave.Runtime
+}
+
+func run(listen, name, secret string, epc int) error {
+	ids := hostproto.DeriveIdentities(secret)
+	service := attest.NewServiceFromSeed(ids.ServiceSeed)
+	owner := core.NewOwnerFromSeeds(service, ids.SignerSeed, ids.EnclaveSeed, ids.Kencrypt)
+
+	machine, err := sgx.NewMachine(sgx.Config{Name: name, EPCFrames: epc, Quantum: 2000})
+	if err != nil {
+		return err
+	}
+	service.RegisterMachine(machine.AttestationPublic())
+
+	registry := core.NewRegistry()
+	for _, app := range builtinImages(owner) {
+		registry.Add(core.NewDeployment(app, owner))
+	}
+
+	s := &server{
+		name:     name,
+		machine:  machine,
+		host:     enclave.NewBareHost(machine),
+		service:  service,
+		owner:    owner,
+		registry: registry,
+		enclaves: make(map[string]*enclave.Runtime),
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	mk := machine.AttestationPublic()
+	log.Printf("sgxhost %s listening on %s (machine key %x...)", name, listen, mk[:6])
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serve(conn)
+	}
+}
+
+// builtinImages is the deployment set every host knows.
+func builtinImages(owner *core.Owner) []*enclave.App {
+	apps := []*enclave.App{
+		testapps.CounterApp(2),
+		testapps.BankApp(2),
+		workload.KVApp(256*1024, 2),
+	}
+	for _, a := range apps {
+		owner.ConfigureApp(a)
+	}
+	return apps
+}
+
+func (s *server) serve(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var cmd hostproto.Command
+	if err := dec.Decode(&cmd); err != nil {
+		return
+	}
+	switch cmd.Op {
+	case hostproto.OpMigrateIn:
+		s.handleMigrateIn(conn, dec, enc, cmd)
+	default:
+		resp := s.handle(cmd)
+		_ = enc.Encode(resp)
+	}
+}
+
+func (s *server) handle(cmd hostproto.Command) hostproto.Response {
+	switch cmd.Op {
+	case hostproto.OpLaunch:
+		return s.launch(cmd.Image)
+	case hostproto.OpCall:
+		return s.call(cmd)
+	case hostproto.OpList:
+		return s.list()
+	case hostproto.OpMigrateOut:
+		return s.migrateOut(cmd)
+	default:
+		return hostproto.Response{Err: fmt.Sprintf("unknown op %q", cmd.Op)}
+	}
+}
+
+func (s *server) launch(image string) hostproto.Response {
+	dep, ok := s.registry.Lookup(image)
+	if !ok {
+		return hostproto.Response{Err: fmt.Sprintf("unknown image %q", image)}
+	}
+	rt, err := enclave.BuildSigned(s.host, dep.App, dep.Sig)
+	if err != nil {
+		return hostproto.Response{Err: err.Error()}
+	}
+	if err := s.owner.Provision(rt); err != nil {
+		_ = rt.Destroy()
+		return hostproto.Response{Err: err.Error()}
+	}
+	s.mu.Lock()
+	s.next++
+	id := fmt.Sprintf("%s-%d", image, s.next)
+	s.enclaves[id] = rt
+	s.mu.Unlock()
+	log.Printf("launched %s (enclave %d)", id, rt.EnclaveID())
+	return hostproto.Response{ID: id}
+}
+
+func (s *server) byID(id string) (*enclave.Runtime, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt, ok := s.enclaves[id]
+	return rt, ok
+}
+
+func (s *server) call(cmd hostproto.Command) hostproto.Response {
+	rt, ok := s.byID(cmd.ID)
+	if !ok {
+		return hostproto.Response{Err: fmt.Sprintf("no enclave %q", cmd.ID)}
+	}
+	res, err := rt.ECall(cmd.Worker, cmd.Selector, cmd.Args...)
+	if err != nil {
+		return hostproto.Response{Err: err.Error()}
+	}
+	return hostproto.Response{Regs: res[:]}
+}
+
+func (s *server) list() hostproto.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ids []string
+	for id, rt := range s.enclaves {
+		status := "live"
+		if rt.Dead() {
+			status = "dead"
+		}
+		ids = append(ids, id+" ("+status+")")
+	}
+	return hostproto.Response{IDs: ids}
+}
+
+// migrateOut ships one of our enclaves to another sgxhost.
+func (s *server) migrateOut(cmd hostproto.Command) hostproto.Response {
+	rt, ok := s.byID(cmd.ID)
+	if !ok {
+		return hostproto.Response{Err: fmt.Sprintf("no enclave %q", cmd.ID)}
+	}
+	conn, err := net.Dial("tcp", cmd.Target)
+	if err != nil {
+		return hostproto.Response{Err: err.Error()}
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(hostproto.Command{Op: hostproto.OpMigrateIn, ID: cmd.ID}); err != nil {
+		return hostproto.Response{Err: err.Error()}
+	}
+	// Exchange machine attestation keys so the attestation plumbing works
+	// across processes.
+	if err := enc.Encode(hostproto.MachineKey{Key: s.machine.AttestationPublic()}); err != nil {
+		return hostproto.Response{Err: err.Error()}
+	}
+	var peer hostproto.MachineKey
+	if err := dec.Decode(&peer); err != nil {
+		return hostproto.Response{Err: err.Error()}
+	}
+	s.service.RegisterMachine(peer.Key)
+
+	rep, err := core.MigrateOut(rt, core.NewConnTransport(conn), &core.Options{Service: s.service})
+	if err != nil {
+		return hostproto.Response{Err: err.Error()}
+	}
+	log.Printf("migrated %s to %s: prepare=%v dump=%v channel=%v total=%v (%d checkpoint bytes)",
+		cmd.ID, cmd.Target, rep.PrepareTime, rep.DumpTime, rep.ChannelTime, rep.TotalTime, rep.CheckpointBytes)
+	return hostproto.Response{Report: fmt.Sprintf("total=%v checkpoint=%dB", rep.TotalTime, rep.CheckpointBytes)}
+}
+
+// handleMigrateIn accepts an inbound migration on this connection.
+func (s *server) handleMigrateIn(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, cmd hostproto.Command) {
+	var peer hostproto.MachineKey
+	if err := dec.Decode(&peer); err != nil {
+		return
+	}
+	s.service.RegisterMachine(peer.Key)
+	if err := enc.Encode(hostproto.MachineKey{Key: s.machine.AttestationPublic()}); err != nil {
+		return
+	}
+	inc, err := core.MigrateIn(s.host, s.registry, core.NewConnTransport(conn), &core.Options{Service: s.service})
+	if err != nil {
+		log.Printf("inbound migration failed: %v", err)
+		return
+	}
+	go func() {
+		for r := range inc.Results {
+			if r.Err != nil {
+				log.Printf("resumed worker %d failed: %v", r.Worker, r.Err)
+			} else {
+				log.Printf("resumed worker %d completed: R0=%d", r.Worker, r.Regs[0])
+			}
+		}
+	}()
+	s.mu.Lock()
+	s.next++
+	id := fmt.Sprintf("%s@%d", cmd.ID, s.next)
+	s.enclaves[id] = inc.Runtime
+	s.mu.Unlock()
+	log.Printf("accepted migration of %s as %s (restore=%v verify=%v)", cmd.ID, id, inc.RestoreTime, inc.VerifyTime)
+}

@@ -1,0 +1,163 @@
+// sgxmigrate drives a pair of sgxhost daemons through the full story:
+// launch an enclave on the source host, put state into it, live-migrate it
+// to the target host, verify the state arrived and that the source instance
+// self-destroyed.
+//
+// Usage:
+//
+//	sgxmigrate -from 127.0.0.1:7001 -to 127.0.0.1:7002 [-image counter]
+//
+// Subcommand style is also supported for manual poking:
+//
+//	sgxmigrate -from HOST launch counter
+//	sgxmigrate -from HOST call <id> <worker> <selector> [args...]
+//	sgxmigrate -from HOST list
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+
+	"repro/internal/hostproto"
+	"repro/internal/testapps"
+)
+
+func main() {
+	from := flag.String("from", "127.0.0.1:7001", "source sgxhost address")
+	to := flag.String("to", "127.0.0.1:7002", "target sgxhost address")
+	image := flag.String("image", "counter", "image to exercise in the demo")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		if err := manual(*from, flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := demo(*from, *to, *image); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func request(addr string, cmd hostproto.Command) (hostproto.Response, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return hostproto.Response{}, err
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(cmd); err != nil {
+		return hostproto.Response{}, err
+	}
+	var resp hostproto.Response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return hostproto.Response{}, err
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("%s: %s", addr, resp.Err)
+	}
+	return resp, nil
+}
+
+func manual(addr string, args []string) error {
+	switch args[0] {
+	case "launch":
+		resp, err := request(addr, hostproto.Command{Op: hostproto.OpLaunch, Image: args[1]})
+		if err != nil {
+			return err
+		}
+		fmt.Println(resp.ID)
+	case "list":
+		resp, err := request(addr, hostproto.Command{Op: hostproto.OpList})
+		if err != nil {
+			return err
+		}
+		for _, id := range resp.IDs {
+			fmt.Println(id)
+		}
+	case "call":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: call <id> <worker> <selector> [args...]")
+		}
+		worker, _ := strconv.Atoi(args[2])
+		sel, _ := strconv.ParseUint(args[3], 10, 64)
+		var callArgs []uint64
+		for _, a := range args[4:] {
+			v, _ := strconv.ParseUint(a, 10, 64)
+			callArgs = append(callArgs, v)
+		}
+		resp, err := request(addr, hostproto.Command{
+			Op: hostproto.OpCall, ID: args[1], Worker: worker, Selector: sel, Args: callArgs,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(resp.Regs)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+	return nil
+}
+
+func demo(from, to, image string) error {
+	fmt.Printf("1. launching %q on %s\n", image, from)
+	resp, err := request(from, hostproto.Command{Op: hostproto.OpLaunch, Image: image})
+	if err != nil {
+		return err
+	}
+	id := resp.ID
+
+	fmt.Printf("2. writing state into the enclave (counter += 4242)\n")
+	if _, err := request(from, hostproto.Command{
+		Op: hostproto.OpCall, ID: id, Worker: 0, Selector: testapps.CounterAdd, Args: []uint64{4242},
+	}); err != nil {
+		return err
+	}
+
+	fmt.Printf("3. migrating %s from %s to %s\n", id, from, to)
+	mig, err := request(from, hostproto.Command{Op: hostproto.OpMigrateOut, ID: id, Target: to})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %s\n", mig.Report)
+
+	fmt.Printf("4. source instance must be dead:\n")
+	if _, err := request(from, hostproto.Command{
+		Op: hostproto.OpCall, ID: id, Worker: 0, Selector: testapps.CounterGet,
+	}); err != nil {
+		fmt.Printf("   source refused the call: %v\n", err)
+	} else {
+		return fmt.Errorf("source instance still alive — single-instance property violated")
+	}
+
+	fmt.Printf("5. locating the migrated instance on %s\n", to)
+	listing, err := request(to, hostproto.Command{Op: hostproto.OpList})
+	if err != nil {
+		return err
+	}
+	var migrated string
+	for _, entry := range listing.IDs {
+		fmt.Printf("   %s\n", entry)
+		if migrated == "" {
+			migrated = entry[:len(entry)-len(" (live)")]
+		}
+	}
+	if migrated == "" {
+		return fmt.Errorf("no enclave found on target")
+	}
+	got, err := request(to, hostproto.Command{
+		Op: hostproto.OpCall, ID: migrated, Worker: 0, Selector: testapps.CounterGet,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("6. migrated state: counter = %d (want 4242)\n", got.Regs[0])
+	if got.Regs[0] != 4242 {
+		return fmt.Errorf("state lost in migration")
+	}
+	fmt.Println("success: state moved, source destroyed")
+	return nil
+}

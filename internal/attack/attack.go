@@ -1,0 +1,150 @@
+// Package attack implements the adversaries of the paper's threat model
+// (Sec. II-D, IV-A, V-A): a malicious guest OS violating checkpoint
+// consistency, fork and rollback attackers, network tamperers/replayers and
+// passive snoopers. The test suite drives them against the defences and
+// pins every security property P-1..P-6.
+package attack
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/enclave"
+)
+
+// NaiveDump models the malicious-OS data-consistency attack of Fig. 3
+// combined with an SDK that has no two-phase checkpointing: the "OS"
+// claims the threads are stopped (it never interrupts them) and the
+// checkpoint walk runs while worker threads keep mutating enclave memory.
+// It returns the (restorable) inconsistent checkpoint blob.
+func NaiveDump(src *enclave.Runtime) ([]byte, error) {
+	if _, err := src.CtlCall(enclave.SelCtlMigrateBegin); err != nil {
+		return nil, fmt.Errorf("attack: begin: %w", err)
+	}
+	res, err := src.CtlCall(enclave.SelCtlDumpNaive, enclave.SharedCkptOff)
+	if err != nil {
+		return nil, fmt.Errorf("attack: naive dump: %w", err)
+	}
+	return src.ReadShared(enclave.SharedCkptOff, res[0])
+}
+
+// TwoPhaseDumpWithoutQuiescence attempts the same attack against the real
+// control thread: raise the flag but never interrupt the workers, then ask
+// for the dump immediately. The in-enclave quiescence check must refuse.
+func TwoPhaseDumpWithoutQuiescence(src *enclave.Runtime) error {
+	if _, err := src.CtlCall(enclave.SelCtlMigrateBegin); err != nil {
+		return fmt.Errorf("attack: begin: %w", err)
+	}
+	_, err := src.CtlCall(enclave.SelCtlMigrateDump, enclave.SharedCkptOff)
+	return err
+}
+
+// Tamperer wraps a transport and flips bits in messages of the chosen kind.
+type Tamperer struct {
+	core.Transport
+	Kind    core.MsgKind
+	BitFlip int // byte index to corrupt (negative = last byte)
+}
+
+// Send corrupts matching messages in flight.
+func (t *Tamperer) Send(m core.Message) error {
+	if m.Kind == t.Kind && len(m.Blob) > 0 {
+		blob := append([]byte(nil), m.Blob...)
+		idx := t.BitFlip
+		if idx < 0 || idx >= len(blob) {
+			idx = len(blob) - 1
+		}
+		blob[idx] ^= 0x40
+		m.Blob = blob
+	}
+	return t.Transport.Send(m)
+}
+
+// Recorder wraps a transport and keeps a copy of everything that crossed it
+// in both directions (attach one to each side to get a full wire capture).
+type Recorder struct {
+	core.Transport
+
+	mu   sync.Mutex
+	Sent []core.Message
+	Rcvd []core.Message
+}
+
+// Send records and forwards.
+func (r *Recorder) Send(m core.Message) error {
+	r.mu.Lock()
+	r.Sent = append(r.Sent, cloneMsg(m))
+	r.mu.Unlock()
+	return r.Transport.Send(m)
+}
+
+// Recv records and forwards.
+func (r *Recorder) Recv() (core.Message, error) {
+	m, err := r.Transport.Recv()
+	if err == nil {
+		r.mu.Lock()
+		r.Rcvd = append(r.Rcvd, cloneMsg(m))
+		r.mu.Unlock()
+	}
+	return m, err
+}
+
+// Capture returns every recorded message.
+func (r *Recorder) Capture() []core.Message {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.Message, 0, len(r.Sent)+len(r.Rcvd))
+	out = append(out, r.Sent...)
+	out = append(out, r.Rcvd...)
+	return out
+}
+
+// ContainsPlaintext reports whether the needle occurs in any captured
+// message — the passive snooper's test for P-1.
+func (r *Recorder) ContainsPlaintext(needle []byte) bool {
+	for _, m := range r.Capture() {
+		if bytes.Contains(m.Blob, needle) {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneMsg(m core.Message) core.Message {
+	return core.Message{Kind: m.Kind, Name: m.Name, Blob: append([]byte(nil), m.Blob...)}
+}
+
+// Replayer replays a previously captured message stream to a new victim
+// (rollback / replay attack): it answers every Recv with the next captured
+// message of the expected direction.
+type Replayer struct {
+	mu     sync.Mutex
+	script []core.Message
+}
+
+// NewReplayer builds a replayer from the messages the original source sent.
+func NewReplayer(script []core.Message) *Replayer {
+	return &Replayer{script: script}
+}
+
+// Send discards the victim's messages (the attacker doesn't need them).
+func (r *Replayer) Send(core.Message) error { return nil }
+
+// Recv feeds the next scripted message.
+func (r *Replayer) Recv() (core.Message, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.script) == 0 {
+		return core.Message{}, core.ErrTransportClosed
+	}
+	m := r.script[0]
+	r.script = r.script[1:]
+	return m, nil
+}
+
+// Close implements core.Transport.
+func (r *Replayer) Close() error { return nil }
+
+var _ core.Transport = (*Replayer)(nil)

@@ -1,0 +1,119 @@
+// Package attest simulates the remote-attestation ecosystem around SGX: an
+// Intel-Attestation-Service-like verifier that knows the attestation keys of
+// provisioned machines and issues signed verdicts over quotes.
+//
+// The trust topology matches the paper's Fig. 7: enclave images embed the
+// service's public key, so in-enclave code can judge a verdict relayed by a
+// completely untrusted host, and the source control thread can act as the
+// attestation challenger of the target enclave during migration without any
+// user involvement.
+package attest
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/sgx"
+	"repro/internal/tcb"
+)
+
+// Verdict errors.
+var (
+	ErrUnknownMachine = errors.New("attest: quote not signed by a provisioned machine")
+	ErrBadQuote       = errors.New("attest: quote signature invalid")
+	ErrBadVerdict     = errors.New("attest: verdict signature invalid")
+)
+
+const verdictLabel = "sgxmig-ias-verdict-ok/v1"
+
+// Verdict is a signed statement by the attestation service that a quote is
+// genuine: produced by a provisioned SGX machine.
+type Verdict struct {
+	Sig tcb.Signature
+}
+
+// Service is the simulated attestation service.
+type Service struct {
+	mu       sync.RWMutex
+	id       *tcb.SigningIdentity
+	machines map[tcb.PublicKey]bool
+	latency  time.Duration
+	requests int
+}
+
+// NewService creates an attestation service with a fresh signing key.
+func NewService() (*Service, error) {
+	id, err := tcb.NewSigningIdentity()
+	if err != nil {
+		return nil, err
+	}
+	return &Service{id: id, machines: make(map[tcb.PublicKey]bool)}, nil
+}
+
+// NewServiceFromSeed creates a service with a deterministic signing key —
+// used by the multi-process tools so every party derives the same service
+// identity from a shared deployment secret.
+func NewServiceFromSeed(seed [tcb.SeedSize]byte) *Service {
+	return &Service{id: tcb.NewSigningIdentityFromSeed(seed), machines: make(map[tcb.PublicKey]bool)}
+}
+
+// Public returns the service's public key (embedded into enclave images).
+func (s *Service) Public() tcb.PublicKey { return s.id.Public() }
+
+// RegisterMachine provisions a machine's attestation key (the analogue of
+// Intel fusing and registering EPID keys at manufacturing time).
+func (s *Service) RegisterMachine(pk tcb.PublicKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.machines[pk] = true
+}
+
+// SetLatency injects a simulated network round-trip for each attestation
+// request, used by the agent-enclave ablation (paper Sec. VI-D: "one remote
+// attestation needs at least two network round trips").
+func (s *Service) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latency = d
+}
+
+// Requests returns how many attestation requests the service has served.
+func (s *Service) Requests() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.requests
+}
+
+// Attest verifies a quote and issues a signed verdict. The caller (an
+// untrusted host, or an enclave owner) relays the verdict to whoever needs
+// to judge the quote.
+func (s *Service) Attest(q sgx.Quote) (Verdict, error) {
+	s.mu.Lock()
+	s.requests++
+	known := s.machines[q.Machine]
+	latency := s.latency
+	s.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if !known {
+		return Verdict{}, ErrUnknownMachine
+	}
+	if err := sgx.VerifyQuoteSignature(q); err != nil {
+		return Verdict{}, ErrBadQuote
+	}
+	msg := append([]byte(verdictLabel), sgx.QuoteMessage(&q)...)
+	return Verdict{Sig: s.id.Sign(msg)}, nil
+}
+
+// VerifyVerdict checks a verdict against the service public key. It is
+// called from inside enclaves (the key is embedded in the image), so it must
+// not depend on any ambient state.
+func VerifyVerdict(servicePub tcb.PublicKey, q sgx.Quote, v Verdict) error {
+	msg := append([]byte(verdictLabel), sgx.QuoteMessage(&q)...)
+	if err := tcb.Verify(servicePub, msg, v.Sig); err != nil {
+		return ErrBadVerdict
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/enclave"
+	"repro/internal/sgx"
+	"repro/internal/tcb"
+	"repro/internal/testapps"
+)
+
+func TestOwnerProvisioningBindsIdentity(t *testing.T) {
+	w := newWorld(t)
+	app := testapps.CounterApp(1)
+	w.owner.ConfigureApp(app)
+	rt, err := enclave.Build(w.hostA, app, w.owner.Signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.owner.Provision(rt); err != nil {
+		t.Fatal(err)
+	}
+	// A second provisioning attempt is refused in-enclave (privOK set).
+	err = w.owner.Provision(rt)
+	var ee *enclave.EnclaveError
+	if !errors.As(err, &ee) {
+		t.Fatalf("double provisioning: %v", err)
+	}
+}
+
+func TestRogueOwnerCannotProvision(t *testing.T) {
+	w := newWorld(t)
+	app := testapps.CounterApp(1)
+	w.owner.ConfigureApp(app) // embeds the legitimate owner's public key
+	rt, err := enclave.Build(w.hostA, app, w.owner.Signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue, err := NewOwner(w.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rogue owner's private key does not match the embedded public key:
+	// the enclave rejects the delivered seed.
+	if err := rogue.Provision(rt); err == nil {
+		t.Fatal("rogue owner provisioned someone else's enclave image")
+	}
+}
+
+func TestMigrationWithAgentEnclave(t *testing.T) {
+	w := newWorld(t)
+	agentApp := NewAgentApp(w.owner)
+	agentMR := enclave.MeasureApp(agentApp)
+
+	app := testapps.CounterApp(2)
+	app.AgentMeasurement = agentMR
+	src := w.launch(t, app)
+	_, reg := w.deploy(app)
+
+	if _, err := src.ECall(0, testapps.CounterAdd, 77); err != nil {
+		t.Fatal(err)
+	}
+
+	agent, err := StartAgent(w.hostB, w.owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agent.Measurement() != agentMR {
+		t.Fatal("agent measurement drifted from MeasureApp")
+	}
+	opts := w.opts()
+	opts.Agent = agent
+	// Pre-establish the channel before the "downtime window" (Sec. VI-D);
+	// this is where the attestation round trips happen.
+	if _, err := Prepare(src, opts); err != nil {
+		t.Fatal(err)
+	}
+	blob, _, err := Dump(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.PreEstablish(src, opts); err != nil {
+		t.Fatal(err)
+	}
+	attestsBefore := w.service.Requests()
+
+	// The critical-path migration: key flows source→agent→target locally,
+	// with zero additional attestation-service round trips.
+	t1, t2 := NewPipe()
+	var inc *Incoming
+	var inErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inc, inErr = MigrateIn(w.hostB, reg, t2, opts)
+	}()
+	if _, err := MigrateOutPrepared(src, blob, t1, opts); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if inErr != nil {
+		t.Fatal(inErr)
+	}
+	if got := w.service.Requests(); got != attestsBefore {
+		t.Fatalf("agent path still hit the attestation service (%d -> %d)", attestsBefore, got)
+	}
+	res, err := inc.Runtime.ECall(0, testapps.CounterGet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 77 {
+		t.Fatalf("migrated counter = %d, want 77", res[0])
+	}
+	// The agent refuses a second delivery (single-instance at the agent).
+	tgt2, err := enclave.BuildSigned(w.hostB, app, sgx.SignEnclave(w.owner.Signer(), enclave.MeasureApp(app)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := targetKeyFromAgent(tgt2, agent); err == nil {
+		t.Fatal("agent delivered Kmigrate twice — fork enabled")
+	}
+}
+
+func TestOwnerCheckpointResumeAudited(t *testing.T) {
+	w := newWorld(t)
+	app := testapps.CounterApp(2)
+	src := w.launch(t, app)
+	dep, _ := w.deploy(app)
+
+	if _, err := src.ECall(0, testapps.CounterAdd, 1000); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := OwnerCheckpoint(w.owner, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source keeps running after the snapshot.
+	if res, err := src.ECall(0, testapps.CounterAdd, 1); err != nil || res[0] != 1001 {
+		t.Fatalf("source after checkpoint: %v %v", err, res)
+	}
+
+	inc, err := OwnerResume(w.owner, w.hostB, dep, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inc.Runtime.ECall(0, testapps.CounterGet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 1000 {
+		t.Fatalf("resumed counter = %d, want 1000 (snapshot time)", res[0])
+	}
+
+	// A second resume from the same checkpoint is technically possible
+	// (that's the rollback the paper discusses) but every operation lands
+	// in the owner's audit log, which is how it is detected.
+	if _, err := OwnerResume(w.owner, w.hostA, dep, blob); err != nil {
+		t.Fatal(err)
+	}
+	audit := w.owner.Audit()
+	var checkpoints, resumes int
+	for _, rec := range audit {
+		switch rec.Op {
+		case "checkpoint":
+			checkpoints++
+		case "resume":
+			resumes++
+		}
+	}
+	if checkpoints != 1 || resumes != 2 {
+		t.Fatalf("audit log: %d checkpoints, %d resumes; want 1 and 2", checkpoints, resumes)
+	}
+}
+
+func TestMigrationKeyedCipherVariants(t *testing.T) {
+	for _, cipher := range []tcb.CheckpointCipher{tcb.CipherAESGCM, tcb.CipherRC4, tcb.CipherDES} {
+		t.Run(cipher.String(), func(t *testing.T) {
+			w := newWorld(t)
+			app := testapps.CounterApp(1)
+			src := w.launch(t, app)
+			_, reg := w.deploy(app)
+			if _, err := src.ECall(0, testapps.CounterAdd, 5); err != nil {
+				t.Fatal(err)
+			}
+			opts := w.opts()
+			opts.Cipher = cipher
+			_, inc := runMigration(t, src, w.hostB, reg, opts)
+			res, err := inc.Runtime.ECall(0, testapps.CounterGet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res[0] != 5 {
+				t.Fatalf("counter = %d", res[0])
+			}
+		})
+	}
+}
+
+func TestMigrationOverTCP(t *testing.T) {
+	w := newWorld(t)
+	app := testapps.CounterApp(1)
+	src := w.launch(t, app)
+	_, reg := w.deploy(app)
+	if _, err := src.ECall(0, testapps.CounterAdd, 314); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var inc *Incoming
+	var inErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			inErr = err
+			return
+		}
+		inc, inErr = MigrateIn(w.hostB, reg, NewConnTransport(conn), w.opts())
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MigrateOut(src, NewConnTransport(conn), w.opts()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if inErr != nil {
+		t.Fatal(inErr)
+	}
+	res, err := inc.Runtime.ECall(0, testapps.CounterGet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 314 {
+		t.Fatalf("counter over TCP = %d", res[0])
+	}
+}
+
+func TestPrepareTimesOutOnHostileWorkload(t *testing.T) {
+	w := newWorld(t)
+	app := testapps.CounterApp(1)
+	// Disable stubs: the workers never maintain flags, so a busy worker
+	// never reads as quiescent... actually stubless flags read free; use a
+	// stubbed app but a stuck worker instead: spin ecall that ignores the
+	// interrupt by being re-entered forever is not constructible from the
+	// untrusted side — quiescence always converges here. Pin the budget
+	// behaviour instead with an absurdly short budget and a busy worker.
+	src := w.launch(t, app)
+	done := make(chan error, 1)
+	go func() {
+		_, err := src.ECall(0, testapps.CounterRun, 100_000_000)
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	opts := w.opts()
+	opts.PollBudget = time.Nanosecond
+	opts.PollInterval = time.Microsecond
+	_, err := Prepare(src, opts)
+	if !errors.Is(err, ErrNotQuiescent) {
+		t.Fatalf("prepare with zero budget: %v", err)
+	}
+	if err := Cancel(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

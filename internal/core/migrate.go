@@ -1,0 +1,578 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/enclave"
+	"repro/internal/sgx"
+	"repro/internal/tcb"
+)
+
+// Migration errors.
+var (
+	ErrAborted      = errors.New("core: migration aborted by peer")
+	ErrUnknownImage = errors.New("core: target has no deployment for the requested image")
+	ErrNotQuiescent = errors.New("core: enclave never reached a quiescent point")
+	ErrProtocol     = errors.New("core: migration protocol violation")
+)
+
+// Deployment bundles everything a machine needs to (re)build an enclave
+// image: the application and its public SIGSTRUCT. It is distributed to all
+// machines that may host the enclave.
+type Deployment struct {
+	App *enclave.App
+	Sig sgx.SigStruct
+}
+
+// NewDeployment prepares a deployment for an owner-configured app.
+func NewDeployment(app *enclave.App, owner *Owner) *Deployment {
+	return &Deployment{App: app, Sig: sgx.SignEnclave(owner.Signer(), enclave.MeasureApp(app))}
+}
+
+// Registry maps image names to deployments on a host.
+type Registry struct {
+	mu   sync.RWMutex
+	apps map[string]*Deployment
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{apps: make(map[string]*Deployment)} }
+
+// Add registers a deployment.
+func (r *Registry) Add(d *Deployment) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.apps[d.App.Name] = d
+}
+
+// Lookup finds a deployment by image name.
+func (r *Registry) Lookup(name string) (*Deployment, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.apps[name]
+	return d, ok
+}
+
+// Options configures a migration.
+type Options struct {
+	// Service is the attestation service used by the source to attest the
+	// target (relayed by the untrusted host, verified inside the enclave).
+	Service *attest.Service
+	// Cipher selects the checkpoint cipher (default AES-GCM).
+	Cipher tcb.CheckpointCipher
+	// PollInterval is the quiescent-point polling period.
+	PollInterval time.Duration
+	// PollBudget bounds the wait for quiescence.
+	PollBudget time.Duration
+	// Agent, if set, is an established agent session on the target machine:
+	// the source delivers Kmigrate to the agent ahead of time and the
+	// target enclave fetches it by local attestation (Sec. VI-D).
+	Agent *AgentSession
+	// BuildOptions are applied when the target rebuilds the image (e.g.
+	// backing its shared region with guest VM memory).
+	BuildOptions []enclave.BuildOption
+}
+
+func (o *Options) pollInterval() time.Duration {
+	if o.PollInterval == 0 {
+		return 50 * time.Microsecond
+	}
+	return o.PollInterval
+}
+
+func (o *Options) pollBudget() time.Duration {
+	if o.PollBudget == 0 {
+		return 10 * time.Second
+	}
+	return o.PollBudget
+}
+
+// SourceReport carries source-side migration metrics.
+type SourceReport struct {
+	PrepareTime     time.Duration // phase 1: reach the quiescent point
+	DumpTime        time.Duration // phase 2: in-enclave dump + encrypt
+	ChannelTime     time.Duration // attestation + DH + key release
+	TotalTime       time.Duration
+	CheckpointBytes int
+}
+
+// imageBlob encodes MsgImage.
+func imageBlob(name string, mr [32]byte, threads int) []byte {
+	b := make([]byte, 0, len(name)+40)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(name)))
+	b = append(b, n[:]...)
+	b = append(b, name...)
+	b = append(b, mr[:]...)
+	binary.LittleEndian.PutUint32(n[:], uint32(threads))
+	b = append(b, n[:]...)
+	return b
+}
+
+func parseImageBlob(b []byte) (name string, mr [32]byte, threads int, err error) {
+	if len(b) < 4 {
+		return "", mr, 0, ErrProtocol
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if len(b) < int(4+n+32+4) {
+		return "", mr, 0, ErrProtocol
+	}
+	name = string(b[4 : 4+n])
+	copy(mr[:], b[4+n:])
+	threads = int(binary.LittleEndian.Uint32(b[4+n+32:]))
+	return name, mr, threads, nil
+}
+
+// Prepare drives the source enclave to its quiescent point (two-phase
+// checkpointing phase 1) and returns how long it took. Exposed separately
+// so the VM migration engine can overlap it with pre-copy.
+func Prepare(src *enclave.Runtime, opts *Options) (time.Duration, error) {
+	start := time.Now()
+	src.RequestMigration()
+	if _, err := src.CtlCall(enclave.SelCtlMigrateBegin); err != nil {
+		return 0, fmt.Errorf("core: migrate begin: %w", err)
+	}
+	deadline := time.Now().Add(opts.pollBudget())
+	for {
+		res, err := src.CtlCall(enclave.SelCtlMigratePoll)
+		if err != nil {
+			return 0, fmt.Errorf("core: migrate poll: %w", err)
+		}
+		if res[0] == 1 {
+			return time.Since(start), nil
+		}
+		if time.Now().After(deadline) {
+			return 0, ErrNotQuiescent
+		}
+		src.InterruptWorkers()
+		time.Sleep(opts.pollInterval())
+	}
+}
+
+// Dump produces the encrypted checkpoint blob from a prepared source
+// enclave (two-phase checkpointing phase 2).
+func Dump(src *enclave.Runtime, opts *Options) ([]byte, time.Duration, error) {
+	start := time.Now()
+	res, err := src.CtlCall(enclave.SelCtlMigrateDump, enclave.SharedCkptOff)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: migrate dump: %w", err)
+	}
+	blob, err := src.ReadShared(enclave.SharedCkptOff, res[0])
+	if err != nil {
+		return nil, 0, err
+	}
+	return blob, time.Since(start), nil
+}
+
+// Cancel aborts a started migration on the source: Kmigrate is wiped inside
+// the enclave and the workers resume.
+func Cancel(src *enclave.Runtime) error {
+	defer src.EndMigration()
+	if _, err := src.CtlCall(enclave.SelCtlSrcCancel); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MigrateOut runs the complete source side of an enclave migration over t.
+// On success the source enclave has self-destroyed. On failure before key
+// release the migration is cancelled and the enclave resumes.
+func MigrateOut(src *enclave.Runtime, t Transport, opts *Options) (rep SourceReport, err error) {
+	start := time.Now()
+	defer func() { rep.TotalTime = time.Since(start) }()
+
+	if opts.Cipher != 0 {
+		if _, err = src.CtlCall(enclave.SelCtlSetCipher, uint64(opts.Cipher)); err != nil {
+			return rep, fmt.Errorf("core: set cipher: %w", err)
+		}
+	}
+
+	// Phase 1+2: quiesce and dump.
+	if rep.PrepareTime, err = Prepare(src, opts); err != nil {
+		return rep, err
+	}
+	var blob []byte
+	if blob, rep.DumpTime, err = Dump(src, opts); err != nil {
+		if cErr := Cancel(src); cErr != nil {
+			err = errors.Join(err, cErr)
+		}
+		return rep, err
+	}
+	return migrateOutPrepared(src, blob, t, opts, rep, start)
+}
+
+// MigrateOutPrepared runs the source side for an enclave whose checkpoint
+// was already produced with Prepare+Dump (the VM live-migration engine dumps
+// early so the blob rides the pre-copy stream).
+func MigrateOutPrepared(src *enclave.Runtime, blob []byte, t Transport, opts *Options) (SourceReport, error) {
+	return migrateOutPrepared(src, blob, t, opts, SourceReport{}, time.Now())
+}
+
+func migrateOutPrepared(src *enclave.Runtime, blob []byte, t Transport, opts *Options, rep SourceReport, start time.Time) (_ SourceReport, err error) {
+	released := false
+	defer func() {
+		if err != nil && !released {
+			if cErr := Cancel(src); cErr != nil {
+				err = errors.Join(err, cErr)
+			}
+		}
+		rep.TotalTime = time.Since(start)
+	}()
+	rep.CheckpointBytes = len(blob)
+
+	// Tell the target what to build and ship the bulk data.
+	mr := src.Measurement()
+	if err = t.Send(Message{Kind: MsgImage, Name: src.App().Name, Blob: imageBlob(src.App().Name, mr, src.Layout().Threads)}); err != nil {
+		return rep, err
+	}
+	if err = t.Send(Message{Kind: MsgCheckpoint, Blob: blob}); err != nil {
+		return rep, err
+	}
+
+	chanStart := time.Now()
+	var sealedKey []byte
+	if opts.Agent != nil {
+		// Sec. VI-D: the channel to the agent was (or can be) built ahead
+		// of time; release the key to the agent now.
+		sealedKey, err = opts.Agent.ReleaseFromSource(src, opts)
+		if err != nil {
+			return rep, err
+		}
+		released = true
+		if err = opts.Agent.InstallKey(sealedKey); err != nil {
+			return rep, fmt.Errorf("core: agent install key: %w", err)
+		}
+		// The target fetches the key locally; nothing to send.
+		if err = t.Send(Message{Kind: MsgKey, Blob: nil}); err != nil {
+			return rep, err
+		}
+	} else {
+		// Remote attestation of the target enclave by the source enclave.
+		var hello Message
+		if hello, err = recvKind(t, MsgHello); err != nil {
+			return rep, err
+		}
+		var channelOut []byte
+		if channelOut, err = sourceChannel(src, opts.Service, hello.Blob); err != nil {
+			return rep, err
+		}
+		if err = t.Send(Message{Kind: MsgChannel, Blob: channelOut}); err != nil {
+			return rep, err
+		}
+		if _, err = recvKind(t, MsgChannelOK); err != nil {
+			return rep, err
+		}
+		// Self-destroy, then release Kmigrate (strictly last, Sec. V-B).
+		var res [sgx.NumRegs]uint64
+		res, err = src.CtlCall(enclave.SelCtlSrcRelease, enclave.SharedReqOff)
+		if err != nil {
+			return rep, fmt.Errorf("core: key release: %w", err)
+		}
+		released = true
+		if sealedKey, err = src.ReadShared(enclave.SharedReqOff, res[0]); err != nil {
+			return rep, err
+		}
+		if err = t.Send(Message{Kind: MsgKey, Blob: sealedKey}); err != nil {
+			return rep, err
+		}
+	}
+	rep.ChannelTime = time.Since(chanStart)
+
+	if _, err = recvKind(t, MsgDone); err != nil {
+		return rep, err
+	}
+	src.EndMigration()
+	return rep, nil
+}
+
+// sourceChannel feeds the target's hello through the source control thread:
+// quote verification via the attestation service (the untrusted host relays
+// to the service; the enclave checks the verdict) and the signed DH
+// response.
+func sourceChannel(src *enclave.Runtime, service *attest.Service, hello []byte) ([]byte, error) {
+	if service == nil {
+		return nil, fmt.Errorf("core: no attestation service configured")
+	}
+	if len(hello) < enclave.QuoteWireSize+64 {
+		return nil, ErrProtocol
+	}
+	quote, err := enclave.UnmarshalQuote(hello[:enclave.QuoteWireSize])
+	if err != nil {
+		return nil, err
+	}
+	dhNonce := hello[enclave.QuoteWireSize:] // dhpub(32) || nonce(32)
+	// The untrusted host relays the quote to the attestation service; the
+	// enclave judges the verdict against its embedded service key.
+	verdict, err := service.Attest(quote)
+	if err != nil {
+		return nil, fmt.Errorf("core: attestation service: %w", err)
+	}
+	in := append(enclave.MarshalQuote(quote), enclave.MarshalVerdict(verdict)...)
+	in = append(in, dhNonce[:64]...)
+	if err := src.WriteShared(enclave.SharedReqOff, in); err != nil {
+		return nil, err
+	}
+	res, err := src.CtlCall(enclave.SelCtlSrcChannel, enclave.SharedReqOff, uint64(len(in)))
+	if err != nil {
+		return nil, fmt.Errorf("core: source channel: %w", err)
+	}
+	// Output lands where the input was; read srcpub||sig.
+	return src.ReadShared(enclave.SharedReqOff, res[0])
+}
+
+func recvKind(t Transport, want MsgKind) (Message, error) {
+	m, err := t.Recv()
+	if err != nil {
+		return Message{}, err
+	}
+	if m.Kind == MsgAbort {
+		return Message{}, fmt.Errorf("%w: %s", ErrAborted, string(m.Blob))
+	}
+	if m.Kind != want {
+		return Message{}, fmt.Errorf("%w: expected message %d, got %d", ErrProtocol, want, m.Kind)
+	}
+	return m, nil
+}
+
+// WorkerResult is the completion of a migrated in-flight ecall on the
+// target.
+type WorkerResult struct {
+	Worker int
+	Regs   [sgx.NumRegs]uint64
+	Err    error
+}
+
+// Incoming is the target side's result: the live restored enclave plus a
+// channel delivering the completions of the ecalls that were in flight at
+// migration time.
+type Incoming struct {
+	Runtime *enclave.Runtime
+	Header  enclave.CheckpointHeader
+	Results <-chan WorkerResult
+
+	RestoreTime time.Duration
+	VerifyTime  time.Duration
+}
+
+// MigrateIn runs the complete target side of an enclave migration over t,
+// building the virgin enclave from the local registry.
+func MigrateIn(host *enclave.Host, reg *Registry, t Transport, opts *Options) (*Incoming, error) {
+	imgMsg, err := recvKind(t, MsgImage)
+	if err != nil {
+		return nil, err
+	}
+	name, wantMR, _, err := parseImageBlob(imgMsg.Blob)
+	if err != nil {
+		return nil, err
+	}
+	dep, ok := reg.Lookup(name)
+	if !ok {
+		abort(t, "unknown image")
+		return nil, ErrUnknownImage
+	}
+	if dep.Sig.Measurement != wantMR {
+		abort(t, "measurement mismatch")
+		return nil, ErrUnknownImage
+	}
+
+	ckptMsg, err := recvKind(t, MsgCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	blob := ckptMsg.Blob
+	hdr, _, err := enclave.UnmarshalHeader(blob)
+	if err != nil {
+		abort(t, "bad checkpoint header")
+		return nil, err
+	}
+	if !bytes.Equal(hdr.Measurement[:], wantMR[:]) {
+		abort(t, "checkpoint for a different image")
+		return nil, ErrProtocol
+	}
+
+	// Step-1: create and initialise a virgin enclave from the same image.
+	rt, err := enclave.BuildSigned(host, dep.App, dep.Sig, opts.BuildOptions...)
+	if err != nil {
+		abort(t, "build failed")
+		return nil, err
+	}
+
+	if opts.Agent != nil {
+		if err := targetKeyFromAgent(rt, opts.Agent); err != nil {
+			abort(t, "agent key fetch failed")
+			return nil, err
+		}
+		// Consume the (empty) key message for protocol symmetry.
+		if _, err := recvKind(t, MsgKey); err != nil {
+			return nil, err
+		}
+	} else {
+		// Step-2: be attested by the source and receive Kmigrate.
+		if err := targetChannel(rt, t); err != nil {
+			abort(t, "channel failed")
+			return nil, err
+		}
+		keyMsg, err := recvKind(t, MsgKey)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeAndCall(rt, enclave.SelCtlTgtKey, keyMsg.Blob); err != nil {
+			abort(t, "key install failed")
+			return nil, err
+		}
+	}
+
+	inc, err := Restore(rt, hdr, blob)
+	if err != nil {
+		abort(t, "restore failed")
+		return nil, err
+	}
+	if err := t.Send(Message{Kind: MsgDone}); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// targetChannel runs ctlTgtBegin, quotes the report, sends the hello and
+// installs the source's channel response.
+func targetChannel(rt *enclave.Runtime, t Transport) error {
+	res, err := rt.CtlCall(enclave.SelCtlTgtBegin, enclave.SharedReqOff)
+	if err != nil {
+		return fmt.Errorf("core: target begin: %w", err)
+	}
+	out, err := rt.ReadShared(enclave.SharedReqOff, res[0])
+	if err != nil {
+		return err
+	}
+	report, err := enclave.UnmarshalReport(out[:enclave.ReportWireSize])
+	if err != nil {
+		return err
+	}
+	quote, err := rt.Machine().QuoteReport(report)
+	if err != nil {
+		return fmt.Errorf("core: quoting enclave: %w", err)
+	}
+	hello := append(enclave.MarshalQuote(quote), out[enclave.ReportWireSize:]...)
+	if err := t.Send(Message{Kind: MsgHello, Blob: hello}); err != nil {
+		return err
+	}
+	chanMsg, err := recvKind(t, MsgChannel)
+	if err != nil {
+		return err
+	}
+	if err := writeAndCall(rt, enclave.SelCtlTgtChannel, chanMsg.Blob); err != nil {
+		return err
+	}
+	return t.Send(Message{Kind: MsgChannelOK})
+}
+
+// writeAndCall stores a blob in the shared request area and invokes a
+// control selector on it.
+func writeAndCall(rt *enclave.Runtime, sel uint64, blob []byte, extra ...uint64) error {
+	if err := rt.WriteShared(enclave.SharedReqOff, blob); err != nil {
+		return err
+	}
+	args := append([]uint64{enclave.SharedReqOff, uint64(len(blob))}, extra...)
+	_, err := rt.CtlCall(sel, args...)
+	return err
+}
+
+// Restore performs restore Steps 3-4 on a target enclave that already holds
+// the checkpoint key: rebuild CSSA, restore memory, re-enter handlers, and
+// have the enclave verify the rebuilt CSSA values before going live.
+func Restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte) (*Incoming, error) {
+	return restore(rt, hdr, blob, false)
+}
+
+// RestoreOwnerKeyed is Restore for Sec. V-C owner-keyed checkpoints.
+func RestoreOwnerKeyed(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte) (*Incoming, error) {
+	return restore(rt, hdr, blob, true)
+}
+
+func restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, ownerKeyed bool) (*Incoming, error) {
+	restoreStart := time.Now()
+	// Step-3a: the untrusted runtime rebuilds CSSA by forced AEX cycles.
+	if err := rt.RebuildCSSA(hdr.MigK); err != nil {
+		return nil, err
+	}
+	// Step-3b: the control thread restores all memory from the checkpoint.
+	ownerFlag := uint64(0)
+	if ownerKeyed {
+		ownerFlag = 1
+	}
+	if err := rt.WriteShared(enclave.SharedCkptOff, blob); err != nil {
+		return nil, err
+	}
+	if _, err := rt.CtlCall(enclave.SelCtlTgtRestore, enclave.SharedCkptOff, uint64(len(blob)), ownerFlag); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	restoreTime := time.Since(restoreStart)
+
+	// Step-4: re-attach workers (they park in the spin region, recording
+	// fresh CSSAEENTER values) and let the enclave verify before resuming.
+	verifyStart := time.Now()
+	results := make(chan WorkerResult, rt.Layout().Threads)
+	var wg sync.WaitGroup
+	live := 0
+	for tid := 1; tid < rt.Layout().Threads && tid < len(hdr.MigK); tid++ {
+		if hdr.MigK[tid] == 0 {
+			continue
+		}
+		live++
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			regs, err := rt.ResumeWorker(worker)
+			results <- WorkerResult{Worker: worker, Regs: regs, Err: err}
+		}(tid - 1)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// The verify call fails with errVerifyCSSA until every handler has
+	// actually parked; poll briefly, then treat persistent failure as an
+	// attack (or a broken host) and refuse.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := rt.CtlCall(enclave.SelCtlTgtVerify)
+		if err == nil {
+			break
+		}
+		var ee *enclave.EnclaveError
+		if errors.As(err, &ee) && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		return nil, fmt.Errorf("%w: %v", enclave.ErrVerifyFailed, err)
+	}
+	verifyTime := time.Since(verifyStart)
+
+	return &Incoming{
+		Runtime:     rt,
+		Header:      hdr,
+		Results:     results,
+		RestoreTime: restoreTime,
+		VerifyTime:  verifyTime,
+	}, nil
+}
+
+func abort(t Transport, reason string) {
+	_ = t.Send(Message{Kind: MsgAbort, Blob: []byte(reason)})
+}
+
+// mustLookup is a test helper: Lookup that panics on a missing image.
+func (r *Registry) mustLookup(name string) *Deployment {
+	d, ok := r.Lookup(name)
+	if !ok {
+		panic("core: no deployment " + name)
+	}
+	return d
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MsgKind labels migration protocol messages.
+type MsgKind int
+
+// Protocol message kinds, in rough protocol order.
+const (
+	MsgImage      MsgKind = iota + 1 // S→T: app name + measurement + thread count
+	MsgHello                         // T→S: quote || dhpub || nonce
+	MsgChannel                       // S→T: srcpub || sig
+	MsgChannelOK                     // T→S: channel established
+	MsgCheckpoint                    // S→T: checkpoint blob (header || ciphertext)
+	MsgKey                           // S→T: sealed Kmigrate (after source self-destroy)
+	MsgDone                          // T→S: restore verified, enclave live
+	MsgAbort                         // either direction: migration cancelled
+)
+
+// Message is one migration protocol message. Structured payloads use the
+// fixed wire codecs from the enclave package inside Blob.
+type Message struct {
+	Kind MsgKind
+	Name string
+	Blob []byte
+}
+
+// Transport carries protocol messages between the source and target
+// migration managers. Implementations: in-process pipes (NewPipe), TCP
+// (NewConnTransport), and the bandwidth-shaped transports used by the VM
+// migration engine.
+type Transport interface {
+	Send(Message) error
+	Recv() (Message, error)
+	Close() error
+}
+
+// ErrTransportClosed is returned after Close.
+var ErrTransportClosed = errors.New("core: transport closed")
+
+// pipe is an in-process transport half.
+type pipe struct {
+	out chan<- Message
+	in  <-chan Message
+
+	closeOnce *sync.Once
+	closed    chan struct{}
+
+	delay     time.Duration // simulated one-way latency
+	byteNanos float64       // simulated nanoseconds per byte (bandwidth)
+	sent      *int64
+	sentMu    *sync.Mutex
+}
+
+// NewPipe creates a connected pair of in-process transports.
+func NewPipe() (Transport, Transport) {
+	return NewShapedPipe(0, 0)
+}
+
+// NewShapedPipe creates an in-process transport pair with a simulated
+// one-way latency and bandwidth (bytes/second; 0 = infinite). It lets the
+// Fig. 10 experiments reproduce network-bound shapes on any host.
+func NewShapedPipe(latency time.Duration, bytesPerSecond float64) (Transport, Transport) {
+	ab := make(chan Message, 16)
+	ba := make(chan Message, 16)
+	var sentA, sentB int64
+	var muA, muB sync.Mutex
+	var byteNanos float64
+	if bytesPerSecond > 0 {
+		byteNanos = 1e9 / bytesPerSecond
+	}
+	// One shared closed channel: closing either end tears down the
+	// connection for both, like a real socket.
+	closed := make(chan struct{})
+	var once sync.Once
+	a := &pipe{out: ab, in: ba, closeOnce: &once, closed: closed, delay: latency, byteNanos: byteNanos, sent: &sentA, sentMu: &muA}
+	b := &pipe{out: ba, in: ab, closeOnce: &once, closed: closed, delay: latency, byteNanos: byteNanos, sent: &sentB, sentMu: &muB}
+	return a, b
+}
+
+// Send implements Transport with transfer-time shaping.
+func (p *pipe) Send(m Message) error {
+	if p.byteNanos > 0 {
+		time.Sleep(time.Duration(p.byteNanos * float64(len(m.Blob)+64)))
+	}
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	p.sentMu.Lock()
+	*p.sent += int64(len(m.Blob) + 64)
+	p.sentMu.Unlock()
+	select {
+	case p.out <- m:
+		return nil
+	case <-p.closed:
+		return ErrTransportClosed
+	}
+}
+
+// Recv implements Transport.
+func (p *pipe) Recv() (Message, error) {
+	select {
+	case m, ok := <-p.in:
+		if !ok {
+			return Message{}, ErrTransportClosed
+		}
+		return m, nil
+	case <-p.closed:
+		return Message{}, ErrTransportClosed
+	}
+}
+
+// Close implements Transport: it tears down both directions, like closing
+// a socket.
+func (p *pipe) Close() error {
+	p.closeOnce.Do(func() { close(p.closed) })
+	return nil
+}
+
+// BytesSent reports how many payload bytes this half has sent.
+func (p *pipe) BytesSent() int64 {
+	p.sentMu.Lock()
+	defer p.sentMu.Unlock()
+	return *p.sent
+}
+
+// ByteCounter is implemented by transports that track transferred bytes.
+type ByteCounter interface {
+	BytesSent() int64
+}
+
+// connTransport is a gob-encoded Transport over a net.Conn (used by the
+// sgxhost/sgxmigrate tools).
+type connTransport struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+	sent int64
+}
+
+// NewConnTransport wraps a network connection as a Transport.
+func NewConnTransport(conn net.Conn) Transport {
+	return &connTransport{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Send implements Transport.
+func (c *connTransport) Send(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.sent += int64(len(m.Blob) + 64)
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("core: send: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (c *connTransport) Recv() (Message, error) {
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Message{}, ErrTransportClosed
+		}
+		return Message{}, fmt.Errorf("core: recv: %w", err)
+	}
+	return m, nil
+}
+
+// Close implements Transport.
+func (c *connTransport) Close() error { return c.conn.Close() }
+
+// BytesSent implements ByteCounter.
+func (c *connTransport) BytesSent() int64 {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.sent
+}

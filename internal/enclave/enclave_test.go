@@ -1,0 +1,477 @@
+package enclave
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/sgx"
+	"repro/internal/tcb"
+)
+
+func testHost(t testing.TB) (*Host, *tcb.SigningIdentity) {
+	t.Helper()
+	m, err := sgx.NewMachine(sgx.Config{Name: "enclave-test", Quantum: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := tcb.NewSigningIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewBareHost(m), signer
+}
+
+func simpleApp(name string, ecalls ...ECallFn) *App {
+	return &App{Name: name, CodeVersion: "v1", Workers: 1, HeapPages: 2, ECalls: ecalls}
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	l := Layout{Threads: 3, NSSA: 3, DataPages: 2, HeapPages: 4}
+	if err := l.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-thread stride: TCS + 3 SSA + TLS = 5 pages.
+	if l.TCSPage(0) != 1 || l.TCSPage(1) != 6 || l.TCSPage(2) != 11 {
+		t.Fatalf("TCS pages: %d %d %d", l.TCSPage(0), l.TCSPage(1), l.TCSPage(2))
+	}
+	if l.SSABase(1) != 7 || l.TLSPage(1) != 10 {
+		t.Fatalf("SSA/TLS: %d %d", l.SSABase(1), l.TLSPage(1))
+	}
+	if l.DataBase() != 16 || l.HeapBase() != 18 || l.TotalPages() != 22 {
+		t.Fatalf("regions: %d %d %d", l.DataBase(), l.HeapBase(), l.TotalPages())
+	}
+	// Every TCS page is recognised, nothing else.
+	tcsCount := 0
+	for lin := 0; lin < l.TotalPages(); lin++ {
+		if l.IsTCS(sgx.PageNum(lin)) {
+			tcsCount++
+		}
+	}
+	if tcsCount != 3 || !l.IsTCS(1) || !l.IsTCS(6) || !l.IsTCS(11) || l.IsTCS(0) || l.IsTCS(7) {
+		t.Fatalf("IsTCS wrong; count=%d", tcsCount)
+	}
+}
+
+func TestLayoutIsTCSProperty(t *testing.T) {
+	f := func(threads, nssa, data, heap uint8, page uint16) bool {
+		l := Layout{
+			Threads:   2 + int(threads%8),
+			NSSA:      2 + int(nssa%3),
+			DataPages: int(data % 16),
+			HeapPages: int(heap % 16),
+		}
+		lin := sgx.PageNum(page) % sgx.PageNum(l.TotalPages())
+		want := false
+		for tid := 0; tid < l.Threads; tid++ {
+			if l.TCSPage(tid) == lin {
+				want = true
+			}
+		}
+		return l.IsTCS(lin) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeasureAppMatchesBuild pins the critical equivalence: the offline
+// measurement computation equals the hardware measurement, so SIGSTRUCTs
+// signed offline EINIT-verify.
+func TestMeasureAppMatchesBuild(t *testing.T) {
+	host, signer := testHost(t)
+	app := simpleApp("measured", func(c *Call) AppStatus { return AppDone })
+	app.DataPages = 2
+	app.InitData = []byte("hello measured world")
+	app.EnclavePublic = signer.Public()
+	rt, err := Build(host, app, signer)
+	if err != nil {
+		t.Fatal(err) // Build already EINITs against MeasureApp's value
+	}
+	got, err := rt.Machine().EnclaveMeasurement(rt.EnclaveID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != MeasureApp(app) {
+		t.Fatal("hardware measurement differs from MeasureApp")
+	}
+}
+
+func TestMeasurementCoversConfig(t *testing.T) {
+	base := simpleApp("app", func(c *Call) AppStatus { return AppDone })
+	m1 := MeasureApp(base)
+
+	v2 := simpleApp("app", func(c *Call) AppStatus { return AppDone })
+	v2.CodeVersion = "v2"
+	if MeasureApp(v2) == m1 {
+		t.Fatal("code version not measured")
+	}
+	pk := simpleApp("app", func(c *Call) AppStatus { return AppDone })
+	pk.EnclavePublic = tcb.PublicKey{9}
+	if MeasureApp(pk) == m1 {
+		t.Fatal("embedded owner key not measured")
+	}
+	ns := simpleApp("app", func(c *Call) AppStatus { return AppDone })
+	ns.DisableMigrationStubs = true
+	if MeasureApp(ns) == m1 {
+		t.Fatal("stub removal not measured")
+	}
+	big := simpleApp("app", func(c *Call) AppStatus { return AppDone })
+	big.HeapPages = 3
+	if MeasureApp(big) == m1 {
+		t.Fatal("layout not measured")
+	}
+}
+
+func TestECallArgumentsAndResults(t *testing.T) {
+	host, signer := testHost(t)
+	app := simpleApp("args", func(c *Call) AppStatus {
+		c.Regs[0] = c.Regs[1] + c.Regs[2]
+		c.Regs[1] = c.Regs[1] * 2
+		return AppDone
+	})
+	rt, err := Build(host, app, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.ECall(0, 0, 20, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 42 || res[1] != 40 {
+		t.Fatalf("results: %v", res[:2])
+	}
+}
+
+func TestECallBadSelector(t *testing.T) {
+	host, signer := testHost(t)
+	rt, err := Build(host, simpleApp("bad", func(c *Call) AppStatus { return AppDone }), signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.ECall(0, 999)
+	var ee *EnclaveError
+	if !errors.As(err, &ee) {
+		t.Fatalf("bad selector: %v", err)
+	}
+}
+
+func TestOCallRoundTrip(t *testing.T) {
+	host, signer := testHost(t)
+	calls := 0
+	app := &App{
+		Name: "ocaller", CodeVersion: "v1", Workers: 1, HeapPages: 1,
+		OCall: func(rt *Runtime, id, arg, length uint64) (uint64, error) {
+			calls++
+			if id != 3 {
+				t.Errorf("ocall id = %d", id)
+			}
+			return arg * 10, nil
+		},
+		ECalls: []ECallFn{func(c *Call) AppStatus {
+			switch c.PC {
+			case 0:
+				c.OCallID = 3
+				c.OCallArg = c.Regs[1]
+				c.PC = 1
+				return AppOCall
+			default:
+				// R0 = ocall result; add 1 to prove post-processing.
+				c.Regs[0]++
+				return AppDone
+			}
+		}},
+	}
+	rt, err := Build(host, app, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.ECall(0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 71 || calls != 1 {
+		t.Fatalf("res=%d calls=%d", res[0], calls)
+	}
+}
+
+func TestOCallPreservesAppRegisters(t *testing.T) {
+	host, signer := testHost(t)
+	app := &App{
+		Name: "ocregs", CodeVersion: "v1", Workers: 1, HeapPages: 1,
+		OCall: func(rt *Runtime, id, arg, length uint64) (uint64, error) { return 0, nil },
+		ECalls: []ECallFn{func(c *Call) AppStatus {
+			switch c.PC {
+			case 0:
+				c.Regs[3] = 333
+				c.Regs[5] = 555
+				c.OCallID = 1
+				c.PC = 1
+				return AppOCall
+			default:
+				if c.Regs[3] != 333 || c.Regs[5] != 555 {
+					c.Regs[0] = 0
+				} else {
+					c.Regs[0] = 1
+				}
+				return AppDone
+			}
+		}},
+	}
+	rt, err := Build(host, app, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.ECall(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 1 {
+		t.Fatal("registers lost across ocall (TLS save/restore broken)")
+	}
+}
+
+func TestWorkerBusy(t *testing.T) {
+	host, signer := testHost(t)
+	app := &App{
+		Name: "busy", CodeVersion: "v1", Workers: 2, HeapPages: 1,
+		ECalls: []ECallFn{
+			// 0: spin inside the enclave until heap[0] != 0.
+			func(c *Call) AppStatus {
+				v, err := c.Load64(c.HeapBase())
+				if err != nil {
+					return AppAbort
+				}
+				if v != 0 {
+					return AppDone
+				}
+				return AppRunning
+			},
+			// 1: release the spinner.
+			func(c *Call) AppStatus {
+				if c.Store64(c.HeapBase(), 1) != nil {
+					return AppAbort
+				}
+				return AppDone
+			},
+			// 2: reset the flag (test retries).
+			func(c *Call) AppStatus {
+				if c.Store64(c.HeapBase(), 0) != nil {
+					return AppAbort
+				}
+				return AppDone
+			},
+		},
+	}
+	rt, err := Build(host, app, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 100; attempt++ {
+		done := make(chan error, 1)
+		go func() {
+			_, err := rt.ECall(0, 0)
+			done <- err
+		}()
+		time.Sleep(500 * time.Microsecond) // let the spinner enter
+		// Probe worker 0 until it is demonstrably busy. The probe (sel 1)
+		// sets the release flag, so if it wins the lock race the spinner
+		// completes immediately and we retry the whole setup.
+		probeWon := false
+		for {
+			_, err := rt.ECall(0, 1)
+			if errors.Is(err, ErrWorkerBusy) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			probeWon = true
+			break
+		}
+		if probeWon {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.ECall(1, 2); err != nil { // reset the flag
+				t.Fatal(err)
+			}
+			continue
+		}
+		// Worker 0 is busy spinning; release via the second worker.
+		if _, err := rt.ECall(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatal("probe always won the entry race; ErrWorkerBusy never observed")
+}
+
+func TestControlThreadRefusesAppECalls(t *testing.T) {
+	host, signer := testHost(t)
+	rt, err := Build(host, simpleApp("ctl", func(c *Call) AppStatus { return AppDone }), signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.CtlCall(0) // app selector via control thread
+	var ee *EnclaveError
+	if !errors.As(err, &ee) {
+		t.Fatalf("ctl app-ecall: %v", err)
+	}
+	// And the status selector works.
+	res, err := rt.CtlCall(SelCtlStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != stNormal {
+		t.Fatalf("state = %d", res[0])
+	}
+}
+
+func TestHeaderCodecRoundTrip(t *testing.T) {
+	f := func(pages uint32, threads uint8, cipher uint8, ownerKeyed bool, seed int64) bool {
+		th := 2 + int(threads%10)
+		h := CheckpointHeader{
+			TotalPages: pages,
+			Threads:    uint32(th),
+			Cipher:     tcb.CheckpointCipher(1 + cipher%3),
+			OwnerKeyed: ownerKeyed,
+			Flags:      make([]uint8, th),
+			MigK:       make([]uint32, th),
+		}
+		for i := 0; i < th; i++ {
+			h.Flags[i] = uint8(seed+int64(i)) % 3
+			h.MigK[i] = uint32(seed+int64(i)*7) % 4
+		}
+		h.Measurement[0] = byte(seed)
+		enc := MarshalHeader(h)
+		if len(enc) != HeaderWireSize(th) {
+			return false
+		}
+		dec, rest, err := UnmarshalHeader(append(enc, 0xAB))
+		if err != nil || len(rest) != 1 {
+			return false
+		}
+		if dec.TotalPages != h.TotalPages || dec.Threads != h.Threads ||
+			dec.Cipher != h.Cipher || dec.OwnerKeyed != h.OwnerKeyed ||
+			dec.Measurement != h.Measurement {
+			return false
+		}
+		for i := 0; i < th; i++ {
+			if dec.Flags[i] != h.Flags[i] || dec.MigK[i] != h.MigK[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportQuoteCodecs(t *testing.T) {
+	var r sgx.Report
+	for i := range r.Measurement {
+		r.Measurement[i] = byte(i)
+	}
+	r.Data[5] = 99
+	r.MAC[31] = 7
+	got, err := UnmarshalReport(MarshalReport(r))
+	if err != nil || got != r {
+		t.Fatalf("report codec: %v %v", err, got)
+	}
+	var q sgx.Quote
+	q.Machine[3] = 4
+	q.Sig[63] = 9
+	gq, err := UnmarshalQuote(MarshalQuote(q))
+	if err != nil || gq != q {
+		t.Fatalf("quote codec: %v", err)
+	}
+	var v attest.Verdict
+	v.Sig[1] = 2
+	gv, err := UnmarshalVerdict(MarshalVerdict(v))
+	if err != nil || gv != v {
+		t.Fatalf("verdict codec: %v", err)
+	}
+	if _, err := UnmarshalReport([]byte{1, 2}); err == nil {
+		t.Fatal("short report accepted")
+	}
+	if _, _, err := UnmarshalHeader([]byte{1}); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestAppValidation(t *testing.T) {
+	host, signer := testHost(t)
+	bad := []*App{
+		{Name: "", Workers: 1, ECalls: []ECallFn{nil}},
+		{Name: "x", Workers: 0, ECalls: []ECallFn{nil}},
+		{Name: "x", Workers: 1},
+		{Name: "x", Workers: 1, ECalls: []ECallFn{nil}, DataPages: 0, InitData: []byte("too big for zero pages")},
+	}
+	for i, app := range bad {
+		if _, err := Build(host, app, signer); err == nil {
+			t.Fatalf("bad app %d accepted", i)
+		}
+	}
+}
+
+func TestDestroyReturnsFrames(t *testing.T) {
+	host, signer := testHost(t)
+	before := host.Mgr.FreeFrames()
+	rt, err := Build(host, simpleApp("tmp", func(c *Call) AppStatus { return AppDone }), signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := host.Mgr.FreeFrames()
+	if mid >= before {
+		t.Fatal("build consumed no frames?")
+	}
+	if err := rt.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	// The manager keeps one frame as its version-array page; everything
+	// else must come back.
+	if after := host.Mgr.FreeFrames(); after < before-1 {
+		t.Fatalf("frames leaked: before=%d after=%d", before, after)
+	}
+	if _, err := rt.ECall(0, 0); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("ecall after destroy: %v", err)
+	}
+}
+
+func TestStublessEnclaveCannotMigrate(t *testing.T) {
+	host, signer := testHost(t)
+	app := simpleApp("nostubs", func(c *Call) AppStatus { return AppDone })
+	app.DisableMigrationStubs = true
+	rt, err := Build(host, app, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.ECall(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The control thread machinery still answers status, but a dump can
+	// never reach quiescence because no local flags are maintained...
+	// actually with no ecalls in flight the flags read "free" (never set),
+	// so the dump succeeds — the real guarantee broken is context capture.
+	// Pin the documented behaviour: begin+poll report quiescent.
+	if _, err := rt.CtlCall(SelCtlMigrateBegin); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.CtlCall(SelCtlMigratePoll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 1 {
+		t.Fatal("idle stubless enclave reported non-quiescent")
+	}
+	if _, err := rt.CtlCall(SelCtlSrcCancel); err != nil {
+		t.Fatal(err)
+	}
+}

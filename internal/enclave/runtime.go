@@ -1,0 +1,711 @@
+package enclave
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/epcman"
+	"repro/internal/sgx"
+	"repro/internal/tcb"
+)
+
+// Runtime errors.
+var (
+	ErrDestroyed    = errors.New("enclave: enclave self-destroyed")
+	ErrWorkerBusy   = errors.New("enclave: worker thread already executing an ecall")
+	ErrBadWorker    = errors.New("enclave: no such worker")
+	ErrVerifyFailed = errors.New("enclave: in-enclave restore verification refused to resume")
+	// ErrPaused is returned to an ecall caller whose thread context was
+	// parked in the SSA by PauseWorkers (hardware-extension freeze path).
+	ErrPaused = errors.New("enclave: worker parked in SSA by PauseWorkers")
+)
+
+// EnclaveError is a failure reported by in-enclave SDK code.
+type EnclaveError struct {
+	Detail uint64
+}
+
+func (e *EnclaveError) Error() string {
+	names := map[uint64]string{
+		errBadSelector:    "bad selector",
+		errBadThread:      "bad thread for selector",
+		errNotProvisioned: "not provisioned",
+		errBadState:       "bad lifecycle state",
+		errChannelUsed:    "secure channel already used",
+		errAttestFailed:   "attestation failed",
+		errBadSignature:   "signature verification failed",
+		errDecryptFailed:  "decryption failed",
+		errBadCheckpoint:  "bad checkpoint",
+		errVerifyCSSA:     "CSSA verification failed",
+		errMemory:         "enclave memory access failed",
+		errNotQuiescent:   "workers not quiescent",
+	}
+	if n, ok := names[e.Detail]; ok {
+		return fmt.Sprintf("enclave: in-enclave error: %s", n)
+	}
+	return fmt.Sprintf("enclave: in-enclave error %d", e.Detail)
+}
+
+// Shared-region layout: a small request area for protocol messages and a
+// large area for checkpoint blobs.
+const (
+	SharedReqOff  = 0
+	SharedReqSize = 64 * 1024
+	SharedCkptOff = SharedReqSize
+)
+
+// SharedRegion is untrusted host memory shared with one enclave.
+type SharedRegion struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+var _ sgx.OutsideMemory = (*SharedRegion)(nil)
+
+// NewSharedRegion allocates an n-byte shared region.
+func NewSharedRegion(n int) *SharedRegion {
+	return &SharedRegion{buf: make([]byte, n)}
+}
+
+// Load implements sgx.OutsideMemory.
+func (s *SharedRegion) Load(off uint64, b []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if off+uint64(len(b)) > uint64(len(s.buf)) {
+		return fmt.Errorf("enclave: shared read out of range")
+	}
+	copy(b, s.buf[off:])
+	return nil
+}
+
+// Store implements sgx.OutsideMemory.
+func (s *SharedRegion) Store(off uint64, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off+uint64(len(b)) > uint64(len(s.buf)) {
+		return fmt.Errorf("enclave: shared write out of range")
+	}
+	copy(s.buf[off:], b)
+	return nil
+}
+
+// Size implements sgx.OutsideMemory.
+func (s *SharedRegion) Size() uint64 { return uint64(len(s.buf)) }
+
+// Host bundles the platform pieces the runtime builds enclaves on: the
+// machine, the EPC manager (the SGX driver's paging half) and the fault
+// dispatcher.
+type Host struct {
+	Mgr  *epcman.Manager
+	Disp *epcman.Dispatcher
+}
+
+// NewBareHost sets up a machine-wide host: one manager owning every EPC
+// frame. Guest OSes build their own Host over hypervisor-granted frames.
+func NewBareHost(m *sgx.Machine) *Host {
+	return &Host{
+		Mgr:  epcman.NewRange(m, 0, m.NumFrames()),
+		Disp: epcman.NewDispatcher(m),
+	}
+}
+
+// NewConstrainedHost sets up a host whose driver only has `frames` EPC
+// frames to work with — used to force eviction pressure (the Fig. 9(a)
+// String Sort regime).
+func NewConstrainedHost(m *sgx.Machine, frames int) *Host {
+	if frames > m.NumFrames() {
+		frames = m.NumFrames()
+	}
+	return &Host{
+		Mgr:  epcman.NewRange(m, 0, frames),
+		Disp: epcman.NewDispatcher(m),
+	}
+}
+
+type workerState struct {
+	mu        sync.Mutex
+	lp        *sgx.LP
+	inHandler bool
+}
+
+// Runtime is the untrusted "SGX library" hosting one enclave: it built the
+// enclave, dispatches ecalls and ocalls, reacts to AEX, and cooperates with
+// migration without being trusted by it.
+type Runtime struct {
+	host        *Host
+	m           *sgx.Machine
+	app         *App
+	layout      Layout
+	eid         sgx.EnclaveID
+	measurement [32]byte
+	shared      sgx.OutsideMemory
+
+	ctlMu sync.Mutex
+	ctlLP *sgx.LP
+
+	workers []*workerState
+
+	migrating atomic.Bool
+	paused    atomic.Bool
+	dead      atomic.Bool
+
+	extraFrames []sgx.FrameIndex // SECS + TCS frames (not managed by epcman)
+}
+
+// Build constructs, measures and initialises an enclave for app on the
+// host, signing it with the developer identity.
+func Build(host *Host, app *App, signer *tcb.SigningIdentity) (*Runtime, error) {
+	return BuildSigned(host, app, sgx.SignEnclave(signer, MeasureApp(app)))
+}
+
+// BuildSigned constructs an enclave from an app plus a pre-made SIGSTRUCT —
+// the deployment artefact shipped to machines that do not hold the signing
+// key (e.g. a migration target rebuilding the image).
+func BuildSigned(host *Host, app *App, ss sgx.SigStruct, opts ...BuildOption) (*Runtime, error) {
+	if err := app.validate(); err != nil {
+		return nil, err
+	}
+	var bo buildOpts
+	for _, o := range opts {
+		o(&bo)
+	}
+	prog := newProgram(app)
+	layout := prog.layout
+	m := host.Mgr.Machine()
+
+	secs, err := host.Mgr.AllocFrame()
+	if err != nil {
+		return nil, fmt.Errorf("enclave: alloc SECS frame: %w", err)
+	}
+	eid, err := m.ECREATE(secs, prog, layout.TotalPages(), uint32(layout.NSSA))
+	if err != nil {
+		return nil, fmt.Errorf("enclave: ECREATE: %w", err)
+	}
+	rt := &Runtime{
+		host:        host,
+		m:           m,
+		app:         app,
+		layout:      layout,
+		eid:         eid,
+		extraFrames: []sgx.FrameIndex{secs},
+	}
+	host.Disp.Register(eid, host.Mgr)
+
+	cleanup := func() {
+		_ = m.DestroyEnclave(eid)
+		host.Disp.Unregister(eid)
+		host.Mgr.ForgetEnclave(eid)
+		for _, f := range rt.extraFrames {
+			host.Mgr.ReturnFrame(f)
+		}
+	}
+
+	addReg := func(lin sgx.PageNum, content *sgx.Page, pin bool) error {
+		f, err := host.Mgr.AllocFrame()
+		if err != nil {
+			return err
+		}
+		if err := m.EADD(f, eid, lin, sgx.PermR|sgx.PermW, content); err != nil {
+			return err
+		}
+		host.Mgr.NotePage(eid, lin, f)
+		if pin {
+			host.Mgr.Pin(eid, lin)
+		}
+		return nil
+	}
+
+	if err := rt.addAllPages(addReg); err != nil {
+		cleanup()
+		return nil, err
+	}
+
+	if err := m.EINIT(eid, ss); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("enclave: EINIT: %w", err)
+	}
+	rt.measurement = ss.Measurement
+
+	if bo.shared != nil {
+		rt.shared = bo.shared
+	} else {
+		rt.shared = NewSharedRegion(SharedSizeFor(layout))
+	}
+	rt.ctlLP = m.NewLP()
+	rt.workers = make([]*workerState, app.Workers)
+	for i := range rt.workers {
+		rt.workers[i] = &workerState{lp: m.NewLP()}
+	}
+	return rt, nil
+}
+
+// addAllPages EADDs the enclave pages in canonical order (mirrored by
+// MeasureApp).
+func (rt *Runtime) addAllPages(addReg func(sgx.PageNum, *sgx.Page, bool) error) error {
+	layout, app, m, eid := rt.layout, rt.app, rt.m, rt.eid
+
+	// Page 0: control page with the SDK parameters baked in (measured).
+	ctrl := &sgx.Page{}
+	binary.LittleEndian.PutUint64(ctrl[offMagic:], controlMagic)
+	binary.LittleEndian.PutUint64(ctrl[offNumThread:], uint64(layout.Threads))
+	binary.LittleEndian.PutUint64(ctrl[offDataPages:], uint64(layout.DataPages))
+	binary.LittleEndian.PutUint64(ctrl[offHeapPages:], uint64(layout.HeapPages))
+	binary.LittleEndian.PutUint64(ctrl[offNSSA:], uint64(layout.NSSA))
+	if err := addReg(0, ctrl, true); err != nil {
+		return err
+	}
+
+	// Thread blocks: TCS, SSA frames, TLS.
+	for tid := 0; tid < layout.Threads; tid++ {
+		f, err := rt.host.Mgr.AllocFrame()
+		if err != nil {
+			return err
+		}
+		params := sgx.TCSParams{Entry: uint32(tid), NSSA: uint32(layout.NSSA), OSSA: layout.SSABase(tid)}
+		if err := m.EADDTCS(f, eid, layout.TCSPage(tid), params); err != nil {
+			return err
+		}
+		rt.extraFrames = append(rt.extraFrames, f)
+		for s := 0; s < layout.NSSA; s++ {
+			if err := addReg(layout.SSABase(tid)+sgx.PageNum(s), nil, true); err != nil {
+				return err
+			}
+		}
+		if err := addReg(layout.TLSPage(tid), nil, true); err != nil {
+			return err
+		}
+	}
+
+	// Data region with the measured initial content.
+	data := app.InitData
+	for i := 0; i < layout.DataPages; i++ {
+		var page *sgx.Page
+		if len(data) > 0 {
+			page = &sgx.Page{}
+			n := copy(page[:], data)
+			data = data[n:]
+		}
+		if err := addReg(layout.DataBase()+sgx.PageNum(i), page, false); err != nil {
+			return err
+		}
+	}
+
+	// Heap (zero pages).
+	for i := 0; i < layout.HeapPages; i++ {
+		if err := addReg(layout.HeapBase()+sgx.PageNum(i), nil, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeasureApp computes the MRENCLAVE an SDK build of app produces, without
+// touching a machine. It must mirror the hardware measurement sequence; a
+// test pins the equivalence.
+func MeasureApp(app *App) [32]byte {
+	prog := newProgram(app)
+	layout := prog.layout
+	h := sha256.New()
+
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(layout.TotalPages()))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(layout.NSSA))
+	ch := prog.CodeHash()
+	h.Write([]byte("ECREATE"))
+	h.Write(hdr[:])
+	h.Write(ch[:])
+
+	extendReg := func(lin sgx.PageNum, content *sgx.Page) {
+		var page sgx.Page
+		if content != nil {
+			page = *content
+		}
+		pageHash := sha256.Sum256(page[:])
+		var meta [12]byte
+		binary.LittleEndian.PutUint32(meta[0:], uint32(lin))
+		meta[4] = byte(sgx.PTReg)
+		meta[5] = byte(sgx.PermR | sgx.PermW)
+		h.Write([]byte("EADD"))
+		h.Write(meta[:])
+		h.Write(pageHash[:])
+	}
+	extendTCS := func(lin sgx.PageNum, params sgx.TCSParams) {
+		var meta [24]byte
+		binary.LittleEndian.PutUint32(meta[0:], uint32(lin))
+		meta[4] = byte(sgx.PTTcs)
+		binary.LittleEndian.PutUint32(meta[8:], params.Entry)
+		binary.LittleEndian.PutUint32(meta[12:], params.NSSA)
+		binary.LittleEndian.PutUint32(meta[16:], uint32(params.OSSA))
+		h.Write([]byte("EADDTCS"))
+		h.Write(meta[:])
+	}
+
+	ctrl := &sgx.Page{}
+	binary.LittleEndian.PutUint64(ctrl[offMagic:], controlMagic)
+	binary.LittleEndian.PutUint64(ctrl[offNumThread:], uint64(layout.Threads))
+	binary.LittleEndian.PutUint64(ctrl[offDataPages:], uint64(layout.DataPages))
+	binary.LittleEndian.PutUint64(ctrl[offHeapPages:], uint64(layout.HeapPages))
+	binary.LittleEndian.PutUint64(ctrl[offNSSA:], uint64(layout.NSSA))
+	extendReg(0, ctrl)
+
+	for tid := 0; tid < layout.Threads; tid++ {
+		extendTCS(layout.TCSPage(tid), sgx.TCSParams{Entry: uint32(tid), NSSA: uint32(layout.NSSA), OSSA: layout.SSABase(tid)})
+		for s := 0; s < layout.NSSA; s++ {
+			extendReg(layout.SSABase(tid)+sgx.PageNum(s), nil)
+		}
+		extendReg(layout.TLSPage(tid), nil)
+	}
+	data := app.InitData
+	for i := 0; i < layout.DataPages; i++ {
+		var page *sgx.Page
+		if len(data) > 0 {
+			page = &sgx.Page{}
+			n := copy(page[:], data)
+			data = data[n:]
+		}
+		extendReg(layout.DataBase()+sgx.PageNum(i), page)
+	}
+	for i := 0; i < layout.HeapPages; i++ {
+		extendReg(layout.HeapBase()+sgx.PageNum(i), nil)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Accessors.
+
+// EnclaveID returns the hardware enclave id.
+func (rt *Runtime) EnclaveID() sgx.EnclaveID { return rt.eid }
+
+// Measurement returns MRENCLAVE.
+func (rt *Runtime) Measurement() [32]byte { return rt.measurement }
+
+// Layout returns the enclave memory map.
+func (rt *Runtime) Layout() Layout { return rt.layout }
+
+// App returns the hosted application description.
+func (rt *Runtime) App() *App { return rt.app }
+
+// Machine returns the machine hosting the enclave.
+func (rt *Runtime) Machine() *sgx.Machine { return rt.m }
+
+// Host returns the platform this enclave was built on.
+func (rt *Runtime) Host() *Host { return rt.host }
+
+// Shared returns the untrusted shared region.
+func (rt *Runtime) Shared() sgx.OutsideMemory { return rt.shared }
+
+// SharedSizeFor returns the shared-region size the runtime needs for an
+// enclave layout: the protocol request area plus room for a full
+// checkpoint blob.
+func SharedSizeFor(l Layout) int {
+	return SharedCkptOff + l.TotalPages()*(4+sgx.PageSize) + 64*1024
+}
+
+// BuildOption customises enclave construction.
+type BuildOption func(*buildOpts)
+
+type buildOpts struct {
+	shared sgx.OutsideMemory
+}
+
+// WithShared backs the enclave's untrusted shared region with caller-owned
+// memory (e.g. guest physical memory inside a VM, so checkpoint dumps dirty
+// VM pages and ride the ordinary pre-copy stream).
+func WithShared(mem sgx.OutsideMemory) BuildOption {
+	return func(o *buildOpts) { o.shared = mem }
+}
+
+// Dead reports whether the enclave has self-destroyed.
+func (rt *Runtime) Dead() bool { return rt.dead.Load() }
+
+// WriteShared writes protocol bytes into the shared request area.
+func (rt *Runtime) WriteShared(off uint64, b []byte) error { return rt.shared.Store(off, b) }
+
+// ReadShared reads protocol bytes from the shared area.
+func (rt *Runtime) ReadShared(off uint64, n uint64) ([]byte, error) {
+	b := make([]byte, n)
+	if err := rt.shared.Load(off, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ECall synchronously executes application entry sel on worker (0-based
+// worker index; thread id is worker+1), driving ERESUME after interrupts,
+// parking in the exception handler during migrations, and dispatching
+// ocalls. It returns the enclave's result registers.
+func (rt *Runtime) ECall(worker int, sel uint64, args ...uint64) ([sgx.NumRegs]uint64, error) {
+	var zero [sgx.NumRegs]uint64
+	if worker < 0 || worker >= len(rt.workers) {
+		return zero, ErrBadWorker
+	}
+	ws := rt.workers[worker]
+	if !ws.mu.TryLock() {
+		return zero, ErrWorkerBusy
+	}
+	defer ws.mu.Unlock()
+	if rt.dead.Load() {
+		return zero, ErrDestroyed
+	}
+	tcsLin := rt.layout.TCSPage(worker + 1)
+	enterArgs := append([]uint64{sel}, args...)
+	res, err := rt.m.EENTER(ws.lp, rt.eid, tcsLin, enterArgs, rt.shared)
+	return rt.drive(ws, tcsLin, res, err)
+}
+
+// ResumeWorker re-attaches a migrated worker on the target machine: it
+// enters the exception handler (which spins until the in-enclave
+// verification goes green), then drives the restored computation to
+// completion and returns its results. Call it in a goroutine per worker
+// before ctlTgtVerify, since the handler blocks inside the enclave.
+func (rt *Runtime) ResumeWorker(worker int) ([sgx.NumRegs]uint64, error) {
+	var zero [sgx.NumRegs]uint64
+	if worker < 0 || worker >= len(rt.workers) {
+		return zero, ErrBadWorker
+	}
+	ws := rt.workers[worker]
+	if !ws.mu.TryLock() {
+		return zero, ErrWorkerBusy
+	}
+	defer ws.mu.Unlock()
+	tcsLin := rt.layout.TCSPage(worker + 1)
+	ws.inHandler = true
+	res, err := rt.m.EENTER(ws.lp, rt.eid, tcsLin, []uint64{SelHandler}, rt.shared)
+	return rt.drive(ws, tcsLin, res, err)
+}
+
+// ResumeInterruptedWorker ERESUMEs a worker whose context sits in its SSA
+// (used after a hardware-extension transparent migration, where no handler
+// parking happened) and drives the computation to completion.
+func (rt *Runtime) ResumeInterruptedWorker(worker int) ([sgx.NumRegs]uint64, error) {
+	var zero [sgx.NumRegs]uint64
+	if worker < 0 || worker >= len(rt.workers) {
+		return zero, ErrBadWorker
+	}
+	ws := rt.workers[worker]
+	if !ws.mu.TryLock() {
+		return zero, ErrWorkerBusy
+	}
+	defer ws.mu.Unlock()
+	tcsLin := rt.layout.TCSPage(worker + 1)
+	res, err := rt.m.ERESUME(ws.lp, rt.eid, tcsLin, rt.shared)
+	return rt.drive(ws, tcsLin, res, err)
+}
+
+// ProgramFor returns the measured SDK program for an app; the
+// hardware-extension path needs it when re-creating an enclave with
+// ESWPINSECS.
+func ProgramFor(app *App) sgx.Program { return newProgram(app) }
+
+// Adopt wraps an already-existing enclave (e.g. one installed by the
+// hardware-extension ESWPIN path) in a Runtime so the ordinary ecall/ocall
+// machinery can drive it. The caller guarantees the enclave was built from
+// this app image.
+func Adopt(host *Host, app *App, eid sgx.EnclaveID, measurement [32]byte) (*Runtime, error) {
+	if err := app.validate(); err != nil {
+		return nil, err
+	}
+	prog := newProgram(app)
+	m := host.Mgr.Machine()
+	rt := &Runtime{
+		host:        host,
+		m:           m,
+		app:         app,
+		layout:      prog.layout,
+		eid:         eid,
+		measurement: measurement,
+		shared:      NewSharedRegion(SharedSizeFor(prog.layout)),
+		ctlLP:       m.NewLP(),
+	}
+	host.Disp.Register(eid, host.Mgr)
+	rt.workers = make([]*workerState, app.Workers)
+	for i := range rt.workers {
+		rt.workers[i] = &workerState{lp: m.NewLP()}
+	}
+	return rt, nil
+}
+
+// drive is the AEP/dispatch loop shared by ECall and ResumeWorker.
+func (rt *Runtime) drive(ws *workerState, tcsLin sgx.PageNum, res sgx.EnterResult, err error) ([sgx.NumRegs]uint64, error) {
+	var zero [sgx.NumRegs]uint64
+	for {
+		if err != nil {
+			ws.inHandler = false
+			return zero, err
+		}
+		switch res.Kind {
+		case sgx.ExitAEX:
+			if rt.paused.Load() && !ws.inHandler {
+				// The host wants the thread context left in the SSA (the
+				// hardware-extension freeze path): abandon the drive loop.
+				return zero, ErrPaused
+			}
+			if rt.migrating.Load() && !ws.inHandler {
+				// Park the interrupted context under the exception
+				// handler; the entry stub will see the global flag and
+				// spin (paper Sec. IV-B: "we can leverage AEX to make it
+				// enter the exception handler in the enclave and then
+				// check the global flag").
+				ws.inHandler = true
+				res, err = rt.m.EENTER(ws.lp, rt.eid, tcsLin, []uint64{SelHandler}, rt.shared)
+				continue
+			}
+			if ws.inHandler {
+				// Spinning; don't burn the host CPU while the control
+				// thread works.
+				time.Sleep(20 * time.Microsecond)
+			}
+			res, err = rt.m.ERESUME(ws.lp, rt.eid, tcsLin, rt.shared)
+		case sgx.ExitEExit:
+			switch res.Regs[7] {
+			case codeDone:
+				return res.Regs, nil
+			case codeResumeMe:
+				ws.inHandler = false
+				res, err = rt.m.ERESUME(ws.lp, rt.eid, tcsLin, rt.shared)
+			case codeOCall:
+				res, err = rt.dispatchOCall(ws, tcsLin, res.Regs)
+			case codeDead:
+				ws.inHandler = false
+				rt.dead.Store(true)
+				return zero, ErrDestroyed
+			case codeErr:
+				ws.inHandler = false
+				return zero, &EnclaveError{Detail: res.Regs[0]}
+			default:
+				ws.inHandler = false
+				return zero, fmt.Errorf("enclave: unexpected exit code %d", res.Regs[7])
+			}
+		default:
+			return zero, fmt.Errorf("enclave: unexpected exit kind %d", res.Kind)
+		}
+	}
+}
+
+func (rt *Runtime) dispatchOCall(ws *workerState, tcsLin sgx.PageNum, regs [sgx.NumRegs]uint64) (sgx.EnterResult, error) {
+	var r0, r1 uint64
+	if rt.app.OCall != nil {
+		out, err := rt.app.OCall(rt, regs[0], regs[1], regs[2])
+		if err != nil {
+			r1 = 1
+		}
+		r0 = out
+	} else {
+		r1 = 1
+	}
+	return rt.m.EENTER(ws.lp, rt.eid, tcsLin, []uint64{SelOCallReturn, r0, r1}, rt.shared)
+}
+
+// CtlCall executes a control-thread selector synchronously.
+func (rt *Runtime) CtlCall(sel uint64, args ...uint64) ([sgx.NumRegs]uint64, error) {
+	var zero [sgx.NumRegs]uint64
+	rt.ctlMu.Lock()
+	defer rt.ctlMu.Unlock()
+	tcsLin := rt.layout.TCSPage(0)
+	enterArgs := append([]uint64{sel}, args...)
+	res, err := rt.m.EENTER(rt.ctlLP, rt.eid, tcsLin, enterArgs, rt.shared)
+	for {
+		if err != nil {
+			return zero, err
+		}
+		switch res.Kind {
+		case sgx.ExitAEX:
+			res, err = rt.m.ERESUME(rt.ctlLP, rt.eid, tcsLin, rt.shared)
+		case sgx.ExitEExit:
+			switch res.Regs[7] {
+			case codeDone:
+				return res.Regs, nil
+			case codeDead:
+				rt.dead.Store(true)
+				return zero, ErrDestroyed
+			case codeErr:
+				return zero, &EnclaveError{Detail: res.Regs[0]}
+			default:
+				return zero, fmt.Errorf("enclave: unexpected control exit code %d", res.Regs[7])
+			}
+		default:
+			return zero, fmt.Errorf("enclave: unexpected exit kind %d", res.Kind)
+		}
+	}
+}
+
+// PauseWorkers interrupts every worker and leaves their contexts parked in
+// their SSA frames: their ecall callers get ErrPaused. Used before a
+// hardware-extension EMIGRATE freeze, which requires no active threads.
+func (rt *Runtime) PauseWorkers() {
+	rt.paused.Store(true)
+	for _, ws := range rt.workers {
+		ws.lp.Interrupt()
+	}
+}
+
+// UnpauseWorkers re-enables normal AEX handling (cancel path); parked
+// contexts are resumed with ResumeInterruptedWorker.
+func (rt *Runtime) UnpauseWorkers() { rt.paused.Store(false) }
+
+// RequestMigration flips the runtime into migration mode and interrupts all
+// workers so they reach the in-enclave spin region (the guest OS's
+// SIGUSR1-on-migration path, Fig. 8 step 3-4).
+func (rt *Runtime) RequestMigration() {
+	rt.migrating.Store(true)
+	for _, ws := range rt.workers {
+		ws.lp.Interrupt()
+	}
+}
+
+// EndMigration clears migration mode (after completion or cancel).
+func (rt *Runtime) EndMigration() { rt.migrating.Store(false) }
+
+// InterruptWorkers re-kicks workers that have not yet parked.
+func (rt *Runtime) InterruptWorkers() {
+	for _, ws := range rt.workers {
+		ws.lp.Interrupt()
+	}
+}
+
+// RebuildCSSA replays k forced asynchronous exits on each worker TCS so the
+// hardware CSSA matches the checkpoint (restore Step-3). The garbage SSA
+// frames it produces are overwritten by ctlTgtRestore. migK is indexed by
+// thread id as in the checkpoint header.
+func (rt *Runtime) RebuildCSSA(migK []uint32) error {
+	for tid := 1; tid < rt.layout.Threads && tid < len(migK); tid++ {
+		ws := rt.workers[tid-1]
+		ws.mu.Lock()
+		tcsLin := rt.layout.TCSPage(tid)
+		for i := uint32(0); i < migK[tid]; i++ {
+			ws.lp.Interrupt()
+			res, err := rt.m.EENTER(ws.lp, rt.eid, tcsLin, []uint64{SelNop}, rt.shared)
+			if err != nil {
+				ws.mu.Unlock()
+				return fmt.Errorf("enclave: CSSA rebuild enter: %w", err)
+			}
+			if res.Kind != sgx.ExitAEX {
+				ws.mu.Unlock()
+				return fmt.Errorf("enclave: CSSA rebuild expected AEX, got exit")
+			}
+		}
+		ws.mu.Unlock()
+	}
+	return nil
+}
+
+// Destroy tears the enclave down and returns its EPC frames.
+func (rt *Runtime) Destroy() error {
+	if err := rt.m.DestroyEnclave(rt.eid); err != nil {
+		return err
+	}
+	rt.host.Disp.Unregister(rt.eid)
+	rt.host.Mgr.ForgetEnclave(rt.eid)
+	for _, f := range rt.extraFrames {
+		rt.host.Mgr.ReturnFrame(f)
+	}
+	rt.dead.Store(true)
+	return nil
+}

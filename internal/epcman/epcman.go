@@ -1,0 +1,420 @@
+// Package epcman implements EPC page-frame management — the role the
+// paper's in-guest SGX driver plays (Sec. VI-B "Virtual EPC Management"):
+// allocating frames for enclave construction, and when the pool is
+// exhausted, evicting resident pages to normal (untrusted) memory with EWB
+// using a simplified LRU policy, then faulting them back in with ELDU on
+// demand.
+//
+// A Manager owns a set of EPC frames of one machine. Several managers can
+// share a machine (one per VM); a Dispatcher routes hardware page-in
+// requests to the manager owning the faulting enclave.
+package epcman
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sgx"
+)
+
+// ErrNoFrames means the manager has no frame to hand out and nothing it can
+// evict.
+var ErrNoFrames = errors.New("epcman: EPC exhausted and nothing evictable")
+
+type pageKey struct {
+	eid sgx.EnclaveID
+	lin sgx.PageNum
+}
+
+type storedPage struct {
+	ev      *sgx.EvictedPage
+	vaFrame sgx.FrameIndex
+	vaSlot  int
+}
+
+type residentPage struct {
+	key   pageKey
+	frame sgx.FrameIndex
+	// referenced is the clock algorithm's second-chance bit.
+	referenced bool
+}
+
+// Manager manages a pool of EPC frames.
+type Manager struct {
+	mu sync.Mutex
+
+	m      *sgx.Machine
+	frames []sgx.FrameIndex // all frames this manager owns
+	free   []sgx.FrameIndex
+
+	// resident is the clock list of evictable pages (REG pages only).
+	resident []residentPage
+	clock    int
+
+	// evicted holds EWB blobs in "normal memory".
+	evicted map[pageKey]storedPage
+
+	// vaFrames are VA pages allocated out of the pool for version slots.
+	vaFrames  []sgx.FrameIndex
+	vaBitmaps [][]bool
+
+	// pinned pages are never chosen as eviction victims (SSA and control
+	// pages on the hot path can still be evicted architecturally, but the
+	// driver avoids it just as the paper's driver avoids thrashing).
+	pinned map[pageKey]bool
+
+	// source, if set, is asked for additional frames (a hypervisor grant
+	// hypercall) before the manager resorts to evicting; it models the
+	// paper's on-demand guest-EPC mapping (Sec. VI-A).
+	source FrameSource
+
+	evictions int
+	reloads   int
+}
+
+// FrameSource supplies extra EPC frames on demand; it returns an error when
+// the grant is exhausted (forcing guest-level eviction).
+type FrameSource func() (sgx.FrameIndex, error)
+
+// New creates a manager owning the given frames of machine m.
+func New(m *sgx.Machine, frames []sgx.FrameIndex) *Manager {
+	owned := make([]sgx.FrameIndex, len(frames))
+	copy(owned, frames)
+	freeList := make([]sgx.FrameIndex, len(frames))
+	copy(freeList, frames)
+	return &Manager{
+		m:       m,
+		frames:  owned,
+		free:    freeList,
+		evicted: make(map[pageKey]storedPage),
+		pinned:  make(map[pageKey]bool),
+	}
+}
+
+// NewRange is a convenience building a manager over frames [lo, hi).
+func NewRange(m *sgx.Machine, lo, hi int) *Manager {
+	frames := make([]sgx.FrameIndex, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		frames = append(frames, sgx.FrameIndex(i))
+	}
+	return New(m, frames)
+}
+
+// Machine returns the underlying machine.
+func (g *Manager) Machine() *sgx.Machine { return g.m }
+
+// Stats returns eviction/reload counters.
+func (g *Manager) Stats() (evictions, reloads int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.evictions, g.reloads
+}
+
+// FreeFrames reports how many frames are immediately free.
+func (g *Manager) FreeFrames() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.free)
+}
+
+// AllocFrame returns a free frame, evicting a resident page if necessary.
+func (g *Manager) AllocFrame() (sgx.FrameIndex, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.allocLocked()
+}
+
+// SetFrameSource installs a hypervisor-backed frame supplier.
+func (g *Manager) SetFrameSource(src FrameSource) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.source = src
+}
+
+func (g *Manager) allocLocked() (sgx.FrameIndex, error) {
+	g.ensureVALocked()
+	if f, ok := g.popFreeLocked(); ok {
+		return f, nil
+	}
+	if g.source != nil {
+		if f, err := g.source(); err == nil {
+			g.frames = append(g.frames, f)
+			return f, nil
+		}
+	}
+	if err := g.evictOneLocked(); err != nil {
+		return -1, err
+	}
+	if f, ok := g.popFreeLocked(); ok {
+		return f, nil
+	}
+	return -1, ErrNoFrames
+}
+
+func (g *Manager) popFreeLocked() (sgx.FrameIndex, bool) {
+	for len(g.free) > 0 {
+		f := g.free[len(g.free)-1]
+		g.free = g.free[:len(g.free)-1]
+		// The frame may have been freed behind our back (EREMOVE during
+		// enclave destruction re-adds explicitly), so double check.
+		if g.m.FrameFree(f) {
+			return f, true
+		}
+	}
+	return -1, false
+}
+
+// NotePage registers a REG page as resident and evictable.
+func (g *Manager) NotePage(eid sgx.EnclaveID, lin sgx.PageNum, f sgx.FrameIndex) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.resident = append(g.resident, residentPage{key: pageKey{eid, lin}, frame: f, referenced: true})
+}
+
+// Pin marks a page as non-evictable (e.g. SSA frames, the SDK control page).
+func (g *Manager) Pin(eid sgx.EnclaveID, lin sgx.PageNum) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pinned[pageKey{eid, lin}] = true
+}
+
+// evictOneLocked picks a victim with a clock sweep and EWBs it out.
+func (g *Manager) evictOneLocked() error {
+	if len(g.resident) == 0 {
+		return ErrNoFrames
+	}
+	for sweep := 0; sweep < 2*len(g.resident); sweep++ {
+		if len(g.resident) == 0 {
+			return ErrNoFrames
+		}
+		g.clock %= len(g.resident)
+		cand := &g.resident[g.clock]
+		if g.pinned[cand.key] {
+			g.clock++
+			continue
+		}
+		if cand.referenced {
+			cand.referenced = false
+			g.clock++
+			continue
+		}
+		return g.evictAtLocked(g.clock)
+	}
+	// Everything is pinned or referenced twice over; force-evict the first
+	// unpinned page.
+	for i := range g.resident {
+		if !g.pinned[g.resident[i].key] {
+			return g.evictAtLocked(i)
+		}
+	}
+	return ErrNoFrames
+}
+
+func (g *Manager) evictAtLocked(idx int) error {
+	victim := g.resident[idx]
+	vaFrame, vaSlot, err := g.vaSlotLocked()
+	if err != nil {
+		return err
+	}
+	ev, err := g.m.EWB(victim.frame, vaFrame, vaSlot)
+	if err != nil {
+		// The page may be gone already (enclave destroyed); drop the entry.
+		g.resident = append(g.resident[:idx], g.resident[idx+1:]...)
+		return fmt.Errorf("epcman: EWB: %w", err)
+	}
+	g.evicted[victim.key] = storedPage{ev: ev, vaFrame: vaFrame, vaSlot: vaSlot}
+	g.resident = append(g.resident[:idx], g.resident[idx+1:]...)
+	g.free = append(g.free, victim.frame)
+	g.evictions++
+	return nil
+}
+
+// ensureVALocked sets up the first VA page while a frame is still free:
+// eviction needs a version slot, and a completely full pool with no VA page
+// would leave the manager unable to evict anything.
+func (g *Manager) ensureVALocked() {
+	if len(g.vaFrames) > 0 || len(g.free) <= 1 {
+		return
+	}
+	f, ok := g.popFreeLocked()
+	if !ok {
+		return
+	}
+	if err := g.m.EPA(f); err != nil {
+		g.free = append(g.free, f)
+		return
+	}
+	g.vaFrames = append(g.vaFrames, f)
+	g.vaBitmaps = append(g.vaBitmaps, make([]bool, sgx.VASlotsPerPage))
+}
+
+// vaSlotLocked finds (or allocates a VA page to provide) a free version slot.
+func (g *Manager) vaSlotLocked() (sgx.FrameIndex, int, error) {
+	for i, bm := range g.vaBitmaps {
+		for s, used := range bm {
+			if !used {
+				bm[s] = true
+				return g.vaFrames[i], s, nil
+			}
+		}
+	}
+	f, ok := g.popFreeLocked()
+	if !ok {
+		// Deadlock avoidance: we need a frame for a VA page to evict
+		// anything. Reserve-on-demand failed; give up.
+		return -1, -1, ErrNoFrames
+	}
+	if err := g.m.EPA(f); err != nil {
+		g.free = append(g.free, f)
+		return -1, -1, err
+	}
+	g.vaFrames = append(g.vaFrames, f)
+	g.vaBitmaps = append(g.vaBitmaps, make([]bool, sgx.VASlotsPerPage))
+	bm := g.vaBitmaps[len(g.vaBitmaps)-1]
+	bm[0] = true
+	return f, 0, nil
+}
+
+// FaultIn loads an evicted page back into EPC. It implements
+// sgx.FaultHandler for the enclaves this manager owns.
+func (g *Manager) FaultIn(eid sgx.EnclaveID, lin sgx.PageNum) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := pageKey{eid, lin}
+	sp, ok := g.evicted[key]
+	if !ok {
+		return fmt.Errorf("epcman: page %d/%d not in swap", eid, lin)
+	}
+	f, err := g.allocLocked()
+	if err != nil {
+		return err
+	}
+	if err := g.m.ELDU(f, sp.ev, sp.vaFrame, sp.vaSlot); err != nil {
+		g.free = append(g.free, f)
+		return fmt.Errorf("epcman: ELDU: %w", err)
+	}
+	g.releaseVASlotLocked(sp.vaFrame, sp.vaSlot)
+	delete(g.evicted, key)
+	g.resident = append(g.resident, residentPage{key: key, frame: f, referenced: true})
+	g.reloads++
+	return nil
+}
+
+func (g *Manager) releaseVASlotLocked(f sgx.FrameIndex, slot int) {
+	for i, vf := range g.vaFrames {
+		if vf == f {
+			g.vaBitmaps[i][slot] = false
+			return
+		}
+	}
+}
+
+// ForgetEnclave drops all bookkeeping for an enclave after it is destroyed
+// and returns its frames to the pool.
+func (g *Manager) ForgetEnclave(eid sgx.EnclaveID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kept := g.resident[:0]
+	for _, rp := range g.resident {
+		if rp.key.eid == eid {
+			g.free = append(g.free, rp.frame)
+			continue
+		}
+		kept = append(kept, rp)
+	}
+	g.resident = kept
+	for k, sp := range g.evicted {
+		if k.eid == eid {
+			g.releaseVASlotLocked(sp.vaFrame, sp.vaSlot)
+			delete(g.evicted, k)
+		}
+	}
+	for k := range g.pinned {
+		if k.eid == eid {
+			delete(g.pinned, k)
+		}
+	}
+	g.clock = 0
+}
+
+// ReturnFrame puts an explicitly freed frame (e.g. after EREMOVE of a TCS)
+// back on the free list.
+func (g *Manager) ReturnFrame(f sgx.FrameIndex) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.free = append(g.free, f)
+}
+
+// EnsureResident pages in every evicted page of an enclave (used before
+// EMIGRATE, which requires full residency). If the pool is too small to
+// hold the whole enclave — every fault-in evicts another of its pages — it
+// reports ErrNoFrames instead of livelocking.
+func (g *Manager) EnsureResident(eid sgx.EnclaveID) error {
+	prev := -1
+	for {
+		g.mu.Lock()
+		var lin sgx.PageNum
+		remaining := 0
+		found := false
+		for k := range g.evicted {
+			if k.eid == eid {
+				if !found {
+					lin = k.lin
+					found = true
+				}
+				remaining++
+			}
+		}
+		g.mu.Unlock()
+		if !found {
+			return nil
+		}
+		if prev >= 0 && remaining >= prev {
+			return fmt.Errorf("%w: enclave %d does not fit residency (%d pages evicted)", ErrNoFrames, eid, remaining)
+		}
+		prev = remaining
+		if err := g.FaultIn(eid, lin); err != nil {
+			return err
+		}
+	}
+}
+
+// Dispatcher routes machine-level page faults to the manager owning the
+// enclave. Install it once per machine with Machine.SetFaultHandler.
+type Dispatcher struct {
+	mu     sync.RWMutex
+	owners map[sgx.EnclaveID]*Manager
+}
+
+// NewDispatcher creates an empty dispatcher and installs it on the machine.
+func NewDispatcher(m *sgx.Machine) *Dispatcher {
+	d := &Dispatcher{owners: make(map[sgx.EnclaveID]*Manager)}
+	m.SetFaultHandler(d.FaultIn)
+	return d
+}
+
+// Register makes mgr the owner of the enclave's pages.
+func (d *Dispatcher) Register(eid sgx.EnclaveID, mgr *Manager) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.owners[eid] = mgr
+}
+
+// Unregister removes an enclave.
+func (d *Dispatcher) Unregister(eid sgx.EnclaveID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.owners, eid)
+}
+
+// FaultIn implements sgx.FaultHandler.
+func (d *Dispatcher) FaultIn(eid sgx.EnclaveID, lin sgx.PageNum) error {
+	d.mu.RLock()
+	mgr, ok := d.owners[eid]
+	d.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("epcman: no manager owns enclave %d", eid)
+	}
+	return mgr.FaultIn(eid, lin)
+}

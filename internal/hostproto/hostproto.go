@@ -1,0 +1,64 @@
+// Package hostproto defines the wire protocol between the sgxhost daemon
+// and its clients (sgxmigrate), plus the shared-secret identity derivation
+// that lets independent processes agree on the enclave owner and the
+// attestation-service keys.
+package hostproto
+
+import (
+	"repro/internal/tcb"
+)
+
+// Ops.
+const (
+	OpLaunch     = "launch"      // Image → ID
+	OpCall       = "call"        // ID, Worker, Selector, Args → Regs
+	OpList       = "list"        // → IDs
+	OpMigrateOut = "migrate-out" // ID, Target → Report
+	OpMigrateIn  = "migrate-in"  // (host-to-host) switches the conn to a migration transport
+)
+
+// Command is a client request.
+type Command struct {
+	Op       string
+	Image    string
+	ID       string
+	Target   string
+	Worker   int
+	Selector uint64
+	Args     []uint64
+}
+
+// Response is the daemon's reply.
+type Response struct {
+	Err    string
+	ID     string
+	IDs    []string
+	Regs   []uint64
+	Report string
+}
+
+// MachineKey carries a machine attestation public key during host-to-host
+// handshakes.
+type MachineKey struct {
+	Key tcb.PublicKey
+}
+
+// Identities are the deterministic key seeds derived from the deployment
+// secret.
+type Identities struct {
+	ServiceSeed [tcb.SeedSize]byte
+	SignerSeed  [tcb.SeedSize]byte
+	EnclaveSeed [tcb.SeedSize]byte
+	Kencrypt    tcb.Key
+}
+
+// DeriveIdentities expands a shared secret into the party identities.
+func DeriveIdentities(secret string) Identities {
+	root := tcb.Key(tcb.Hash([]byte("sgxmig-deployment/" + secret)))
+	return Identities{
+		ServiceSeed: tcb.DeriveKey(root, "service"),
+		SignerSeed:  tcb.DeriveKey(root, "signer"),
+		EnclaveSeed: tcb.DeriveKey(root, "enclave-identity"),
+		Kencrypt:    tcb.DeriveKey(root, "kencrypt"),
+	}
+}

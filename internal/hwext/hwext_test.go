@@ -1,0 +1,159 @@
+package hwext
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/sgx"
+	"repro/internal/testapps"
+)
+
+func newExtWorld(t testing.TB) (*attest.Service, *core.Owner, *Platform, *Platform) {
+	t.Helper()
+	service, err := attest.NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := core.NewOwner(service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string) *Platform {
+		m, err := sgx.NewMachine(sgx.Config{Name: name, Quantum: 2000, MigrationExtension: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		service.RegisterMachine(m.AttestationPublic())
+		p, err := NewPlatform(enclave.NewBareHost(m), service, owner.Signer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	return service, owner, mk("ext-a"), mk("ext-b")
+}
+
+func TestTransparentMigrationMidComputation(t *testing.T) {
+	service, owner, pa, pb := newExtWorld(t)
+	if err := EstablishMigrationKeys(pa, pb, service); err != nil {
+		t.Fatal(err)
+	}
+
+	app := testapps.CounterApp(1)
+	owner.ConfigureApp(app)
+	dep := core.NewDeployment(app, owner)
+	src, err := enclave.BuildSigned(pa.Host, dep.App, dep.Sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const iterations = 300000
+	done := make(chan error, 1)
+	go func() {
+		_, err := src.ECall(0, testapps.CounterRun, iterations)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	// Freeze requires no active threads: park the worker's context in its
+	// SSA (no handler, no spin — that's the point of the extension).
+	src.PauseWorkers()
+	if err := <-done; !errors.Is(err, enclave.ErrPaused) {
+		t.Fatalf("in-flight ecall: err = %v, want ErrPaused", err)
+	}
+	done <- nil // placate the final drain
+
+	tgt, err := MigrateTransparent(src, pb, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The interrupted thread resumes on the target from its SSA context.
+	regs, err := tgt.ResumeInterruptedWorker(0)
+	if err != nil {
+		t.Fatalf("resume on target: %v", err)
+	}
+	if regs[0] != iterations {
+		t.Fatalf("resumed computation returned %d, want %d", regs[0], iterations)
+	}
+	res, err := tgt.ECall(0, testapps.CounterGet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != iterations {
+		t.Fatalf("migrated counter = %d, want %d", res[0], iterations)
+	}
+	<-done
+}
+
+func TestExtensionRequiresControlEnclave(t *testing.T) {
+	service, owner, pa, _ := newExtWorld(t)
+	// A non-control enclave trying EPUTKEY must be refused by hardware.
+	app := &enclave.App{
+		Name:        "rogue",
+		CodeVersion: "v1",
+		Workers:     1,
+		HeapPages:   1,
+		ECalls: []enclave.ECallFn{func(c *enclave.Call) enclave.AppStatus {
+			if err := c.EPutKey([32]byte{1}); err != nil {
+				c.Regs[0] = 1 // refused, as expected
+			}
+			return enclave.AppDone
+		}},
+	}
+	owner.ConfigureApp(app)
+	rt, err := enclave.Build(pa.Host, app, owner.Signer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.ECall(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 1 {
+		t.Fatal("hardware accepted EPUTKEY from a rogue enclave")
+	}
+	_ = service
+}
+
+func TestExtensionDisabledByDefault(t *testing.T) {
+	m, err := sgx.NewMachine(sgx.Config{Name: "plain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EMIGRATE(1); err != sgx.ErrNotMigratable {
+		t.Fatalf("EMIGRATE on stock machine: err = %v, want ErrNotMigratable", err)
+	}
+	if err := m.RegisterControlEnclave([32]byte{}); err != sgx.ErrNotMigratable {
+		t.Fatalf("RegisterControlEnclave on stock machine: err = %v", err)
+	}
+}
+
+func TestFrozenEnclaveRefusesEntry(t *testing.T) {
+	service, owner, pa, pb := newExtWorld(t)
+	if err := EstablishMigrationKeys(pa, pb, service); err != nil {
+		t.Fatal(err)
+	}
+	app := testapps.CounterApp(1)
+	owner.ConfigureApp(app)
+	dep := core.NewDeployment(app, owner)
+	src, err := enclave.BuildSigned(pa.Host, dep.App, dep.Sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Machine().EMIGRATE(src.EnclaveID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.ECall(0, testapps.CounterGet); err == nil {
+		t.Fatal("EENTER into a frozen enclave succeeded")
+	}
+	// EMIGRATEDONE on the (unchanged) source unfreezes it — the cancel path.
+	if err := src.Machine().EMIGRATEDONE(src.EnclaveID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.ECall(0, testapps.CounterGet); err != nil {
+		t.Fatalf("entry after unfreeze: %v", err)
+	}
+}

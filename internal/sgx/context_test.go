@@ -1,0 +1,129 @@
+package sgx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestContextMarshalRoundTrip pins the SSA serialisation: AEX/ERESUME (and
+// therefore migration) depend on Context surviving a byte round trip.
+func TestContextMarshalRoundTrip(t *testing.T) {
+	f := func(entry uint32, pc uint64, regs [NumRegs]uint64) bool {
+		in := Context{Entry: entry, PC: pc, R: regs}
+		buf := make([]byte, contextBytes)
+		in.marshal(buf)
+		var out Context
+		out.unmarshal(buf)
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCSMarshalRoundTrip pins the sealed-TCS serialisation used by
+// EWB/ELDU and ESWPOUT/ESWPIN — the only way CSSA ever crosses machines.
+func TestTCSMarshalRoundTrip(t *testing.T) {
+	f := func(entry, nssa, cssa uint32, ossa uint32) bool {
+		in := &tcs{params: TCSParams{Entry: entry, NSSA: nssa, OSSA: PageNum(ossa)}, cssa: cssa}
+		out := unmarshalTCS(in.marshal())
+		return out.params == in.params && out.cssa == in.cssa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSplitProperty(t *testing.T) {
+	f := func(page uint32, off uint16) bool {
+		o := uint32(off) % PageSize
+		p, q := SplitAddress(Address(PageNum(page), o))
+		return p == PageNum(page) && q == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	cases := map[Perm]string{
+		0:                     "---",
+		PermR:                 "r--",
+		PermR | PermW:         "rw-",
+		PermR | PermW | PermX: "rwx",
+		PermX:                 "--x",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestPageTypeString(t *testing.T) {
+	for pt, want := range map[PageType]string{
+		PTReg: "PT_REG", PTTcs: "PT_TCS", PTVa: "PT_VA", PTSecs: "PT_SECS",
+	} {
+		if pt.String() != want {
+			t.Fatalf("%v", pt)
+		}
+	}
+}
+
+// TestQuantumPreemption pins the timer-interrupt model: with a quantum
+// configured, a long-running thread AEXes without any explicit interrupt.
+func TestQuantumPreemption(t *testing.T) {
+	m := newTestMachine(t, Config{Quantum: 500})
+	eid, tcsLin := buildTestEnclave(t, m, &testProgram{hash: 9})
+	lp := m.NewLP()
+	res, err := m.EENTER(lp, eid, tcsLin, []uint64{tpCount, 10000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != ExitAEX {
+		t.Fatal("quantum never preempted the thread")
+	}
+	// Resume to completion: multiple quanta.
+	for {
+		res, err = m.ERESUME(lp, eid, tcsLin, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kind == ExitEExit {
+			break
+		}
+	}
+	if res.Regs[0] != 10000 {
+		t.Fatalf("count across quanta = %d", res.Regs[0])
+	}
+}
+
+// TestOutsideMemoryIsolation: without an attached outside region, trusted
+// code gets a clean error rather than host memory.
+func TestOutsideMemoryAbsent(t *testing.T) {
+	m := newTestMachine(t, Config{})
+	eid, tcsLin := buildTestEnclave(t, m, &outsideProbeProgram{})
+	lp := m.NewLP()
+	res, err := m.EENTER(lp, eid, tcsLin, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[0] != 1 {
+		t.Fatal("OutsideLoad without a region did not fail")
+	}
+}
+
+type outsideProbeProgram struct{}
+
+func (outsideProbeProgram) CodeHash() [32]byte { return [32]byte{0x55} }
+
+func (outsideProbeProgram) Step(env *Env, ctx *Context) Status {
+	var b [8]byte
+	if err := env.OutsideLoad(0, b[:]); err == ErrNoOutsideMemory {
+		ctx.R[0] = 1
+	}
+	if env.OutsideSize() != 0 {
+		ctx.R[0] = 0
+	}
+	return StatusExit
+}

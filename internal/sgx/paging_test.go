@@ -1,0 +1,270 @@
+package sgx
+
+import (
+	"errors"
+	"testing"
+)
+
+func evictSetup(t *testing.T) (*Machine, EnclaveID, PageNum) {
+	t.Helper()
+	m := newTestMachine(t, Config{})
+	eid, tcsLin := buildTestEnclave(t, m, &testProgram{hash: 3})
+	if err := m.EPA(100); err != nil {
+		t.Fatal(err)
+	}
+	return m, eid, tcsLin
+}
+
+func TestEWBELDURoundTrip(t *testing.T) {
+	m, eid, tcsLin := evictSetup(t)
+	lp := m.NewLP()
+
+	// Put a known value into page 1, evict it, reload it, read it back.
+	if _, err := m.EENTER(lp, eid, tcsLin, []uint64{tpStore, Address(1, 0), 0x1122334455667788}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.EWB(2 /* frame of page 1 */, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Lin != 1 || ev.Type != PTReg {
+		t.Fatalf("evicted metadata: %+v", ev)
+	}
+	if err := m.ELDU(50, ev, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.EENTER(lp, eid, tcsLin, []uint64{tpLoad, Address(1, 0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[0] != 0x1122334455667788 {
+		t.Fatalf("reloaded value = %x", res.Regs[0])
+	}
+}
+
+func TestEWBBlobIsCiphertext(t *testing.T) {
+	m, eid, tcsLin := evictSetup(t)
+	lp := m.NewLP()
+	if _, err := m.EENTER(lp, eid, tcsLin, []uint64{tpStore, Address(1, 0), 0x4242424242424242}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.EWB(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+8 <= len(ev.Cipher); i++ {
+		word := uint64(0)
+		for j := 0; j < 8; j++ {
+			word |= uint64(ev.Cipher[i+j]) << (8 * j)
+		}
+		if word == 0x4242424242424242 {
+			t.Fatal("plaintext page data visible in EWB blob")
+		}
+	}
+}
+
+func TestELDUAntiReplay(t *testing.T) {
+	m, _, _ := evictSetup(t)
+	ev, err := m.EWB(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ELDU(50, ev, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Evict again (fresh version in slot 1), then replay the STALE blob:
+	// its version no longer matches any slot — rollback refused.
+	if _, err := m.EWB(50, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ELDU(51, ev, 100, 0); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replayed stale ELDU: %v", err)
+	}
+}
+
+func TestELDURejectsTamperedBlob(t *testing.T) {
+	m, _, _ := evictSetup(t)
+	ev, err := m.EWB(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cipher[10] ^= 1
+	if err := m.ELDU(50, ev, 100, 0); !errors.Is(err, ErrSealBroken) {
+		t.Fatalf("tampered ELDU: %v", err)
+	}
+}
+
+func TestELDURejectsRelocatedBlob(t *testing.T) {
+	m, _, _ := evictSetup(t)
+	ev, err := m.EWB(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Lin = 7 // claim it belongs at a (free) different linear page
+	if err := m.ELDU(50, ev, 100, 0); !errors.Is(err, ErrSealBroken) {
+		t.Fatalf("relocated ELDU: %v", err)
+	}
+}
+
+// TestEWBCrossMachineRejected is Difference-1 of the paper: an evicted page
+// from machine A can never be loaded on machine B, because the page
+// encryption key never leaves the CPU.
+func TestEWBCrossMachineRejected(t *testing.T) {
+	mA, _, _ := evictSetup(t)
+	ev, err := mA.EWB(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mB := newTestMachine(t, Config{Name: "other"})
+	// Rebuild the same-shaped enclave on B and try to feed it A's page.
+	eidB, _ := buildTestEnclave(t, mB, &testProgram{hash: 3})
+	if err := mB.EPA(100); err != nil {
+		t.Fatal(err)
+	}
+	// Claim a slot on B to satisfy the version check plausibly: write a
+	// fake version by evicting something first, then replay A's blob with
+	// B's slot version.
+	evB, err := mB.EWB(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *ev
+	forged.Enclave = eidB
+	forged.Version = evB.Version
+	if err := mB.ELDU(50, &forged, 100, 0); !errors.Is(err, ErrSealBroken) {
+		t.Fatalf("cross-machine ELDU: %v", err)
+	}
+}
+
+func TestEWBActiveTCSRefused(t *testing.T) {
+	m, eid, tcsLin := evictSetup(t)
+	lp := m.NewLP()
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, _ = m.EENTER(lp, eid, tcsLin, []uint64{tpSpin}, nil)
+	}()
+	<-started
+	// Spin until the TCS is active, then EWB of its frame (5) must fail.
+	for {
+		_, err := m.EWB(5, 100, 1)
+		if errors.Is(err, ErrTCSActive) {
+			break
+		}
+		if err == nil {
+			t.Fatal("evicted an active TCS")
+		}
+	}
+	lp.Interrupt()
+}
+
+func TestEvictedTCSRoundTripPreservesCSSA(t *testing.T) {
+	m, eid, tcsLin := evictSetup(t)
+	lp := m.NewLP()
+	// Drive CSSA to 1.
+	lp.Interrupt()
+	res, err := m.EENTER(lp, eid, tcsLin, []uint64{tpSpin}, nil)
+	if err != nil || res.Kind != ExitAEX {
+		t.Fatalf("setup AEX: %v %+v", err, res)
+	}
+	// Evict + reload the TCS page (frame 5).
+	ev, err := m.EWB(5, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != PTTcs {
+		t.Fatalf("TCS evicted as %v", ev.Type)
+	}
+	if err := m.ELDU(60, ev, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	// CSSA survived inside the sealed blob: handler entry reports 1.
+	res, err = m.EENTER(lp, eid, tcsLin, []uint64{tpReadCSSA}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[0] != 1 {
+		t.Fatalf("CSSA after TCS round trip = %d, want 1", res.Regs[0])
+	}
+}
+
+func TestFaultHandlerPathDuringExecution(t *testing.T) {
+	m, eid, tcsLin := evictSetup(t)
+	lp := m.NewLP()
+	if _, err := m.EENTER(lp, eid, tcsLin, []uint64{tpStore, Address(1, 0), 77}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.EWB(2, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := 0
+	m.SetFaultHandler(func(fe EnclaveID, lin PageNum) error {
+		faults++
+		if fe != eid || lin != 1 {
+			t.Errorf("fault for %d/%d", fe, lin)
+		}
+		return m.ELDU(50, ev, 100, 0)
+	})
+	res, err := m.EENTER(lp, eid, tcsLin, []uint64{tpLoad, Address(1, 0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[0] != 77 || faults != 1 {
+		t.Fatalf("value=%d faults=%d", res.Regs[0], faults)
+	}
+}
+
+func TestQuoteLifecycle(t *testing.T) {
+	m := newTestMachine(t, Config{})
+	eid, tcsLin := buildTestEnclave(t, m, &reportProgram{})
+	lp := m.NewLP()
+	res, err := m.EENTER(lp, eid, tcsLin, []uint64{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	report := lastReport
+	quote, err := m.QuoteReport(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuoteSignature(quote); err != nil {
+		t.Fatal(err)
+	}
+	// Quotes from a different machine key fail verification when mangled.
+	quote.Sig[0] ^= 1
+	if err := VerifyQuoteSignature(quote); err == nil {
+		t.Fatal("mangled quote verified")
+	}
+	// A report NOT targeted at the QE is refused.
+	report2 := lastReportSelf
+	if _, err := m.QuoteReport(report2); !errors.Is(err, ErrBadReportTarget) {
+		t.Fatalf("quote of self-targeted report: %v", err)
+	}
+}
+
+// reportProgram produces reports from inside the enclave for the test above.
+type reportProgram struct{}
+
+var (
+	lastReport     Report
+	lastReportSelf Report
+)
+
+func (p *reportProgram) CodeHash() [32]byte { return [32]byte{0xee} }
+
+func (p *reportProgram) Step(env *Env, ctx *Context) Status {
+	lastReport = env.EReport(QETarget, ReportData{1, 2, 3})
+	lastReportSelf = env.EReport(env.Measurement(), ReportData{4})
+	// Local attestation verify side: a self-targeted report verifies.
+	if !env.VerifyReport(lastReportSelf) {
+		return StatusAbort
+	}
+	// A QE-targeted report does NOT verify under our own key.
+	if env.VerifyReport(lastReport) {
+		return StatusAbort
+	}
+	return StatusExit
+}

@@ -1,0 +1,138 @@
+package sgx
+
+import (
+	"repro/internal/tcb"
+)
+
+// ReportData is the 64-byte user payload bound into a report, typically a
+// hash of protocol values (e.g. a Diffie-Hellman public key and nonce).
+type ReportData [64]byte
+
+// HashToReportData places a 32-byte hash into a ReportData.
+func HashToReportData(h [32]byte) ReportData {
+	var rd ReportData
+	copy(rd[:], h[:])
+	return rd
+}
+
+// Report is the EREPORT output: the enclave's identity MAC'd with a key only
+// the target enclave (on the same machine) can derive — SGX local
+// attestation.
+type Report struct {
+	Measurement [32]byte
+	Signer      [32]byte
+	Data        ReportData
+	Target      [32]byte // measurement of the verifying enclave
+	MAC         [32]byte
+}
+
+// QETarget is the well-known measurement of the (simulated) Quoting Enclave;
+// reports destined for remote attestation are targeted at it.
+var QETarget = tcb.Hash([]byte("sgx-sim/quoting-enclave/v1"))
+
+func (m *Machine) reportKey(target [32]byte) tcb.Key {
+	return m.keyFor("report", target[:])
+}
+
+func reportMAC(key tcb.Key, r *Report) [32]byte {
+	return tcb.MAC(key, r.Measurement[:], r.Signer[:], r.Data[:], r.Target[:])
+}
+
+// EReport produces a report about the calling enclave for the enclave whose
+// measurement is target (EREPORT).
+func (env *Env) EReport(target [32]byte, data ReportData) Report {
+	r := Report{
+		Measurement: env.e.mrenclave,
+		Signer:      env.e.mrsigner,
+		Data:        data,
+		Target:      target,
+	}
+	r.MAC = reportMAC(env.m.reportKey(target), &r)
+	return r
+}
+
+// VerifyReport lets the calling enclave verify a report that was targeted at
+// it, using its own report key (local attestation verify side).
+func (env *Env) VerifyReport(r Report) bool {
+	if r.Target != env.e.mrenclave {
+		return false
+	}
+	want := reportMAC(env.m.reportKey(env.e.mrenclave), &r)
+	return want == r.MAC
+}
+
+// KeyType selects an EGETKEY derivation.
+type KeyType int
+
+// EGETKEY key types.
+const (
+	// KeySealMRENCLAVE: sealing key bound to the exact enclave measurement.
+	KeySealMRENCLAVE KeyType = iota + 1
+	// KeySealMRSIGNER: sealing key bound to the signing authority, shared
+	// by all enclaves from the same vendor on this machine.
+	KeySealMRSIGNER
+)
+
+// EGetKey derives an enclave sealing key. The derivation includes the
+// machine root secret, so sealed data is machine-bound.
+func (env *Env) EGetKey(kt KeyType) tcb.Key {
+	switch kt {
+	case KeySealMRSIGNER:
+		return env.m.keyFor("seal-mrsigner", env.e.mrsigner[:])
+	default:
+		return env.m.keyFor("seal-mrenclave", env.e.mrenclave[:])
+	}
+}
+
+// Quote is the remote-attestation statement produced by the (simulated)
+// Quoting Enclave: the report contents signed with the machine's attestation
+// key, verifiable by the attestation service that holds the machine's
+// registered public key.
+type Quote struct {
+	Measurement [32]byte
+	Signer      [32]byte
+	Data        ReportData
+	Machine     tcb.PublicKey
+	Sig         tcb.Signature
+}
+
+// QuoteMessage returns the canonical byte string a quote signature covers;
+// attestation verdicts sign over it as well.
+func QuoteMessage(q *Quote) []byte { return quoteMessage(q) }
+
+func quoteMessage(q *Quote) []byte {
+	msg := make([]byte, 0, 32+32+64+len(q.Machine))
+	msg = append(msg, q.Measurement[:]...)
+	msg = append(msg, q.Signer[:]...)
+	msg = append(msg, q.Data[:]...)
+	msg = append(msg, q.Machine[:]...)
+	return msg
+}
+
+// QuoteReport converts a QE-targeted report into a quote. It plays the role
+// of the Quoting Enclave: it first verifies the local-attestation MAC (only
+// code on this machine could have produced it) and then signs the identity
+// with the machine attestation key.
+func (m *Machine) QuoteReport(r Report) (Quote, error) {
+	if r.Target != QETarget {
+		return Quote{}, ErrBadReportTarget
+	}
+	if reportMAC(m.reportKey(QETarget), &r) != r.MAC {
+		return Quote{}, ErrBadReportMAC
+	}
+	q := Quote{
+		Measurement: r.Measurement,
+		Signer:      r.Signer,
+		Data:        r.Data,
+		Machine:     m.attest.Public(),
+	}
+	q.Sig = m.attest.Sign(quoteMessage(&q))
+	return q, nil
+}
+
+// VerifyQuoteSignature checks a quote against a machine attestation public
+// key. Deciding whether that machine key is trusted is the attestation
+// service's job (package attest).
+func VerifyQuoteSignature(q Quote) error {
+	return tcb.Verify(q.Machine, quoteMessage(&q), q.Sig)
+}

@@ -1,0 +1,155 @@
+// Package sgx is a functional simulator of the Intel SGX hardware surface
+// that the paper "Secure Live Migration of SGX Enclaves on Untrusted Cloud"
+// (DSN 2017) builds on.
+//
+// The simulator reproduces the architectural behaviours the paper's design
+// depends on and defends against:
+//
+//   - EPC (Enclave Page Cache) pages with EPCM ownership metadata; no API
+//     exists for software to read another enclave's pages in plaintext.
+//   - SECS and TCS structures that are hardware-owned: in particular the
+//     CSSA field is not observable or writable by any software, which is the
+//     central obstacle the paper's in-enclave CSSA tracking solves.
+//   - EENTER/EEXIT/AEX/ERESUME control transfer with State Save Area
+//     semantics: an asynchronous exit serialises the thread context into the
+//     SSA frame selected by CSSA and increments CSSA; ERESUME reverses it.
+//   - EWB/ELDU paging whose blobs are sealed with a per-CPU key that never
+//     leaves the package, so an evicted page from one machine cannot be
+//     loaded on another (Difference-1 in the paper).
+//   - EREPORT/EGETKEY local attestation and a quoting facility for remote
+//     attestation.
+//
+// Trusted enclave code is modelled as deterministic step functions whose
+// entire mutable state lives in enclave memory plus an explicit register
+// file (Context). This makes AEX/ERESUME and cross-machine restore honest:
+// a migrated thread resumes purely from bytes that travelled in the
+// checkpoint.
+package sgx
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the architectural EPC page size in bytes.
+const PageSize = 4096
+
+// Page is the content of one EPC page.
+type Page [PageSize]byte
+
+// PageNum is a linear page index inside an enclave's address range
+// (ELRANGE). Enclave byte address = PageNum*PageSize + offset.
+type PageNum uint32
+
+// FrameIndex identifies a physical EPC page frame.
+type FrameIndex int
+
+// EnclaveID identifies a live enclave on one machine for one boot.
+type EnclaveID uint64
+
+// PageType is the EPCM page type.
+type PageType uint8
+
+// EPCM page types.
+const (
+	PTReg  PageType = iota + 1 // regular enclave page (code/data/SSA)
+	PTTcs                      // thread control structure
+	PTVa                       // version array for EWB anti-replay
+	PTSecs                     // enclave control structure
+)
+
+// String returns the conventional name of the page type.
+func (pt PageType) String() string {
+	switch pt {
+	case PTReg:
+		return "PT_REG"
+	case PTTcs:
+		return "PT_TCS"
+	case PTVa:
+		return "PT_VA"
+	case PTSecs:
+		return "PT_SECS"
+	default:
+		return fmt.Sprintf("PT(%d)", uint8(pt))
+	}
+}
+
+// Perm is an EPCM access-permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+)
+
+// Has reports whether p includes all bits of q.
+func (p Perm) Has(q Perm) bool { return p&q == q }
+
+// String renders the permission like "rwx".
+func (p Perm) String() string {
+	b := []byte("---")
+	if p.Has(PermR) {
+		b[0] = 'r'
+	}
+	if p.Has(PermW) {
+		b[1] = 'w'
+	}
+	if p.Has(PermX) {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// VASlotsPerPage is the number of version slots in one VA page
+// (PageSize / 8 bytes per version).
+const VASlotsPerPage = PageSize / 8
+
+// NumRegs is the size of the simulated general-purpose register file
+// visible to enclave step functions. By convention R0..R5 carry arguments,
+// R6 is scratch, and R7 receives the CSSA value on EENTER (the architectural
+// rax return value of EENTER that the paper's stub records).
+const NumRegs = 8
+
+// RegCSSA is the register in which EENTER delivers the current CSSA to the
+// entry stub.
+const RegCSSA = 7
+
+// Errors returned by the simulated instructions.
+var (
+	ErrNoSuchEnclave   = errors.New("sgx: no such enclave")
+	ErrNotInitialized  = errors.New("sgx: enclave not initialized (EINIT missing)")
+	ErrAlreadyInit     = errors.New("sgx: enclave already initialized")
+	ErrBadFrame        = errors.New("sgx: bad EPC frame index")
+	ErrFrameInUse      = errors.New("sgx: EPC frame in use")
+	ErrFrameFree       = errors.New("sgx: EPC frame not in use")
+	ErrPageNotResident = errors.New("sgx: page not resident in EPC")
+	ErrPageConflict    = errors.New("sgx: linear page already mapped")
+	ErrPermission      = errors.New("sgx: access permission violated")
+	ErrNotTCS          = errors.New("sgx: page is not a TCS")
+	ErrTCSActive       = errors.New("sgx: TCS is active on another logical processor")
+	ErrTCSNotActive    = errors.New("sgx: TCS is not active")
+	ErrCSSAOverflow    = errors.New("sgx: CSSA == NSSA, no free SSA frame")
+	ErrCSSAUnderflow   = errors.New("sgx: CSSA == 0, nothing to resume")
+	ErrNotVA           = errors.New("sgx: page is not a version array")
+	ErrVASlot          = errors.New("sgx: bad or occupied VA slot")
+	ErrReplay          = errors.New("sgx: EWB blob does not match VA slot (replay or rollback)")
+	ErrSealBroken      = errors.New("sgx: evicted page fails authenticated decryption")
+	ErrSigstruct       = errors.New("sgx: SIGSTRUCT verification failed")
+	ErrOutOfRange      = errors.New("sgx: address outside ELRANGE")
+	ErrChildrenPresent = errors.New("sgx: SECS still has child pages")
+	ErrEnclaveCrashed  = errors.New("sgx: enclave aborted")
+	ErrNoOutsideMemory = errors.New("sgx: no untrusted memory attached to this entry")
+	ErrNotMigratable   = errors.New("sgx: migration extension not enabled")
+)
+
+// Address converts a page number and offset into an enclave byte address.
+func Address(page PageNum, off uint32) uint64 {
+	return uint64(page)*PageSize + uint64(off)
+}
+
+// SplitAddress converts an enclave byte address into page number and offset.
+func SplitAddress(addr uint64) (PageNum, uint32) {
+	return PageNum(addr / PageSize), uint32(addr % PageSize)
+}

@@ -1,0 +1,94 @@
+// Package sim assembles complete simulated worlds — attestation service,
+// enclave owner, SGX machines, hosts — for tests, examples and benchmarks.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/attest"
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/sgx"
+)
+
+// World is a multi-machine cloud with one attestation service and one
+// enclave owner.
+type World struct {
+	Service  *attest.Service
+	Owner    *core.Owner
+	Machines []*sgx.Machine
+	Hosts    []*enclave.Host
+	Registry *core.Registry
+}
+
+// Config tunes world construction.
+type Config struct {
+	Machines  int
+	EPCFrames int
+	Quantum   int
+}
+
+// NewWorld boots a world with n machines using defaults.
+func NewWorld(n int) (*World, error) {
+	return NewWorldConfig(Config{Machines: n})
+}
+
+// NewWorldConfig boots a world.
+func NewWorldConfig(cfg Config) (*World, error) {
+	if cfg.Machines <= 0 {
+		cfg.Machines = 2
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 2000
+	}
+	service, err := attest.NewService()
+	if err != nil {
+		return nil, err
+	}
+	owner, err := core.NewOwner(service)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{Service: service, Owner: owner, Registry: core.NewRegistry()}
+	for i := 0; i < cfg.Machines; i++ {
+		m, err := sgx.NewMachine(sgx.Config{
+			Name:      fmt.Sprintf("machine-%d", i),
+			EPCFrames: cfg.EPCFrames,
+			Quantum:   cfg.Quantum,
+		})
+		if err != nil {
+			return nil, err
+		}
+		service.RegisterMachine(m.AttestationPublic())
+		w.Machines = append(w.Machines, m)
+		w.Hosts = append(w.Hosts, enclave.NewBareHost(m))
+	}
+	return w, nil
+}
+
+// Deploy owner-configures an app, signs it and registers the deployment.
+func (w *World) Deploy(app *enclave.App) *core.Deployment {
+	w.Owner.ConfigureApp(app)
+	dep := core.NewDeployment(app, w.Owner)
+	w.Registry.Add(dep)
+	return dep
+}
+
+// Launch builds and provisions an enclave for a deployed app on machine
+// index host.
+func (w *World) Launch(dep *core.Deployment, host int) (*enclave.Runtime, error) {
+	rt, err := enclave.BuildSigned(w.Hosts[host], dep.App, dep.Sig)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Owner.Provision(rt); err != nil {
+		_ = rt.Destroy()
+		return nil, err
+	}
+	return rt, nil
+}
+
+// Opts returns default migration options for this world.
+func (w *World) Opts() *core.Options {
+	return &core.Options{Service: w.Service}
+}

@@ -1,0 +1,49 @@
+package tcb
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"fmt"
+)
+
+// DHKeyPair is an X25519 key pair used for the migration secure channel
+// (Sec. V-B of the paper) and for owner provisioning at enclave boot.
+type DHKeyPair struct {
+	priv *ecdh.PrivateKey
+}
+
+// DHPublic is a serialisable X25519 public key.
+type DHPublic [32]byte
+
+// NewDHKeyPair generates a fresh X25519 key pair.
+func NewDHKeyPair() (*DHKeyPair, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tcb: generate DH key: %w", err)
+	}
+	return &DHKeyPair{priv: priv}, nil
+}
+
+// Public returns the public half.
+func (kp *DHKeyPair) Public() DHPublic {
+	var pub DHPublic
+	copy(pub[:], kp.priv.PublicKey().Bytes())
+	return pub
+}
+
+// Shared computes the shared session key with the peer's public key, bound
+// to a protocol label so source/target derive independent directions if
+// needed.
+func (kp *DHKeyPair) Shared(peer DHPublic, label string) (Key, error) {
+	pub, err := ecdh.X25519().NewPublicKey(peer[:])
+	if err != nil {
+		return Key{}, fmt.Errorf("tcb: bad peer DH key: %w", err)
+	}
+	secret, err := kp.priv.ECDH(pub)
+	if err != nil {
+		return Key{}, fmt.Errorf("tcb: ECDH: %w", err)
+	}
+	var root Key
+	copy(root[:], secret)
+	return DeriveKey(root, label), nil
+}

@@ -1,0 +1,43 @@
+package tcb
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"fmt"
+)
+
+// Enclave trusted code cannot hold Go objects across entries: everything it
+// keeps must round-trip through enclave memory bytes. These helpers
+// reconstruct identities and DH keys from 32-byte seeds stored in (and
+// migrated with) enclave pages.
+
+// SeedSize is the byte size of key seeds.
+const SeedSize = 32
+
+// NewSigningIdentityFromSeed deterministically rebuilds an Ed25519 identity.
+func NewSigningIdentityFromSeed(seed [SeedSize]byte) *SigningIdentity {
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	pub := priv.Public().(ed25519.PublicKey)
+	return &SigningIdentity{pub: pub, priv: priv}
+}
+
+// RandomSeed returns a fresh random seed.
+func RandomSeed() ([SeedSize]byte, error) {
+	var s [SeedSize]byte
+	b, err := RandomBytes(SeedSize)
+	if err != nil {
+		return s, err
+	}
+	copy(s[:], b)
+	return s, nil
+}
+
+// NewDHKeyPairFromSeed deterministically rebuilds an X25519 key pair from a
+// 32-byte private scalar seed.
+func NewDHKeyPairFromSeed(seed [SeedSize]byte) (*DHKeyPair, error) {
+	priv, err := ecdh.X25519().NewPrivateKey(seed[:])
+	if err != nil {
+		return nil, fmt.Errorf("tcb: DH key from seed: %w", err)
+	}
+	return &DHKeyPair{priv: priv}, nil
+}

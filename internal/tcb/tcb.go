@@ -1,0 +1,223 @@
+// Package tcb provides the cryptographic primitives used by the trusted
+// computing base of the simulated SGX platform: authenticated sealing,
+// key derivation, Diffie-Hellman key agreement, signing identities and the
+// legacy checkpoint ciphers evaluated by the paper (RC4, DES) alongside the
+// default AES-GCM.
+//
+// Everything here wraps the Go standard library; no crypto is hand rolled
+// except the RC4 keystream (crypto/rc4 is stdlib as well, but we route it
+// through the same StreamCipher interface used for benchmarks).
+package tcb
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the size in bytes of all symmetric keys used by the TCB.
+const KeySize = 32
+
+// Key is a 256-bit symmetric key.
+type Key [KeySize]byte
+
+var (
+	// ErrDecrypt indicates an authenticated decryption failure: either the
+	// ciphertext was tampered with or the wrong key was used.
+	ErrDecrypt = errors.New("tcb: authenticated decryption failed")
+	// ErrBadSignature indicates a signature that does not verify.
+	ErrBadSignature = errors.New("tcb: signature verification failed")
+)
+
+// RandomKey returns a fresh random key from crypto/rand.
+func RandomKey() (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return Key{}, fmt.Errorf("tcb: read random key: %w", err)
+	}
+	return k, nil
+}
+
+// RandomBytes returns n fresh random bytes.
+func RandomBytes(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rand.Reader, b); err != nil {
+		return nil, fmt.Errorf("tcb: read random bytes: %w", err)
+	}
+	return b, nil
+}
+
+// Hash returns the SHA-256 digest of data.
+func Hash(data []byte) [32]byte { return sha256.Sum256(data) }
+
+// HashConcat hashes the concatenation of the given byte slices.
+func HashConcat(parts ...[]byte) [32]byte {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// DeriveKey derives a subkey from a root key, a purpose label and optional
+// context bytes using HMAC-SHA256 (a single-block HKDF-Expand).
+func DeriveKey(root Key, purpose string, context ...[]byte) Key {
+	mac := hmac.New(sha256.New, root[:])
+	mac.Write([]byte(purpose))
+	for _, c := range context {
+		mac.Write([]byte{byte(len(c)), byte(len(c) >> 8)})
+		mac.Write(c)
+	}
+	var k Key
+	copy(k[:], mac.Sum(nil))
+	return k
+}
+
+// MAC computes HMAC-SHA256 over data under key.
+func MAC(key Key, data ...[]byte) [32]byte {
+	mac := hmac.New(sha256.New, key[:])
+	for _, d := range data {
+		mac.Write(d)
+	}
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// VerifyMAC reports whether tag is a valid HMAC-SHA256 over data under key,
+// in constant time.
+func VerifyMAC(key Key, tag [32]byte, data ...[]byte) bool {
+	want := MAC(key, data...)
+	return hmac.Equal(tag[:], want[:])
+}
+
+// Seal encrypts plaintext with AES-256-GCM under key, binding the additional
+// data. The nonce is random and prepended to the ciphertext.
+func Seal(key Key, plaintext, additional []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce, err := RandomBytes(aead.NonceSize())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(nonce)+len(plaintext)+aead.Overhead())
+	out = append(out, nonce...)
+	return aead.Seal(out, nonce, plaintext, additional), nil
+}
+
+// Open decrypts a Seal envelope. It returns ErrDecrypt on any failure.
+func Open(key Key, sealed, additional []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < aead.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	nonce, ct := sealed[:aead.NonceSize()], sealed[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, ct, additional)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// SealDeterministic encrypts with an explicit 96-bit counter nonce. It is
+// used by the EWB path where the nonce is the page version number, giving
+// anti-replay binding between the blob and its VA slot.
+func SealDeterministic(key Key, counter uint64, plaintext, additional []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := counterNonce(counter, aead.NonceSize())
+	return aead.Seal(nil, nonce, plaintext, additional), nil
+}
+
+// OpenDeterministic reverses SealDeterministic.
+func OpenDeterministic(key Key, counter uint64, sealed, additional []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := counterNonce(counter, aead.NonceSize())
+	pt, err := aead.Open(nil, nonce, sealed, additional)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+func newGCM(key Key) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("tcb: aes: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("tcb: gcm: %w", err)
+	}
+	return aead, nil
+}
+
+func counterNonce(counter uint64, size int) []byte {
+	nonce := make([]byte, size)
+	for i := 0; i < 8 && i < size; i++ {
+		nonce[size-1-i] = byte(counter >> (8 * i))
+	}
+	return nonce
+}
+
+// SigningIdentity is an Ed25519 key pair used for enclave-image signing
+// (SIGSTRUCT), machine attestation keys and the attestation service key.
+type SigningIdentity struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewSigningIdentity generates a fresh Ed25519 identity.
+func NewSigningIdentity() (*SigningIdentity, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tcb: generate signing identity: %w", err)
+	}
+	return &SigningIdentity{pub: pub, priv: priv}, nil
+}
+
+// Public returns the 32-byte public key.
+func (s *SigningIdentity) Public() PublicKey {
+	var pk PublicKey
+	copy(pk[:], s.pub)
+	return pk
+}
+
+// Sign signs the message.
+func (s *SigningIdentity) Sign(msg []byte) Signature {
+	var sig Signature
+	copy(sig[:], ed25519.Sign(s.priv, msg))
+	return sig
+}
+
+// PublicKey is a serialisable Ed25519 public key.
+type PublicKey [ed25519.PublicKeySize]byte
+
+// Signature is a serialisable Ed25519 signature.
+type Signature [ed25519.SignatureSize]byte
+
+// Verify checks sig over msg under pk.
+func Verify(pk PublicKey, msg []byte, sig Signature) error {
+	if !ed25519.Verify(pk[:], msg, sig[:]) {
+		return ErrBadSignature
+	}
+	return nil
+}

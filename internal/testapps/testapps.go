@@ -1,0 +1,209 @@
+// Package testapps provides small enclave applications used across the test
+// suites, examples and benchmarks: a resumable counter, a two-account bank
+// (the paper's Fig. 3 consistency example), and an echo/ocall exerciser.
+package testapps
+
+import (
+	"repro/internal/enclave"
+)
+
+// Counter selectors.
+const (
+	CounterRun = 0 // R1 = iterations; counts one per step; returns count in R0
+	CounterGet = 1 // returns current count in R0
+	CounterAdd = 2 // R1 = delta; adds once; returns new count
+)
+
+// CounterApp returns an app whose state is a single counter in heap memory,
+// incremented one step at a time — the canonical interruptible/migratable
+// computation.
+func CounterApp(workers int) *enclave.App {
+	return &enclave.App{
+		Name:        "counter",
+		CodeVersion: "v1",
+		Workers:     workers,
+		HeapPages:   1,
+		ECalls: []enclave.ECallFn{
+			counterRun,
+			counterGet,
+			counterAdd,
+		},
+	}
+}
+
+func counterRun(c *enclave.Call) enclave.AppStatus {
+	// Registers: R1 = remaining iterations (counted down in the register
+	// file so it survives AEX/migration); heap[0] = the counter.
+	if c.PC == 0 {
+		c.PC = 1 // argument captured; nothing else to initialise
+	}
+	if c.Regs[1] == 0 {
+		v, err := c.Load64(c.HeapBase())
+		if err != nil {
+			return enclave.AppAbort
+		}
+		c.Regs[0] = v
+		return enclave.AppDone
+	}
+	v, err := c.Load64(c.HeapBase())
+	if err != nil {
+		return enclave.AppAbort
+	}
+	if err := c.Store64(c.HeapBase(), v+1); err != nil {
+		return enclave.AppAbort
+	}
+	c.Regs[1]--
+	return enclave.AppRunning
+}
+
+func counterGet(c *enclave.Call) enclave.AppStatus {
+	v, err := c.Load64(c.HeapBase())
+	if err != nil {
+		return enclave.AppAbort
+	}
+	c.Regs[0] = v
+	return enclave.AppDone
+}
+
+func counterAdd(c *enclave.Call) enclave.AppStatus {
+	v, err := c.Load64(c.HeapBase())
+	if err != nil {
+		return enclave.AppAbort
+	}
+	v += c.Regs[1]
+	if err := c.Store64(c.HeapBase(), v); err != nil {
+		return enclave.AppAbort
+	}
+	c.Regs[0] = v
+	return enclave.AppDone
+}
+
+// Bank selectors (the Fig. 3 money-transfer example: the invariant is that
+// account A + account B is constant).
+const (
+	BankInit     = 0 // R1 = initial balance for each account
+	BankTransfer = 1 // R1 = amount, R2 = rounds; moves A->B one unit at a time
+	BankSum      = 2 // returns A+B in R0, A in R1, B in R2
+)
+
+// BankApp returns the two-account bank used to demonstrate the data
+// consistency attack and its defence. The two accounts deliberately live on
+// pages far apart in the enclave so that a naive (non-quiescent) checkpoint
+// walk has a wide window between reading A and reading B — the Fig. 3
+// scenario.
+func BankApp(workers int) *enclave.App {
+	return &enclave.App{
+		Name:        "bank",
+		CodeVersion: "v1",
+		Workers:     workers,
+		HeapPages:   32,
+		ECalls: []enclave.ECallFn{
+			bankInit,
+			bankTransfer,
+			bankSum,
+		},
+	}
+}
+
+func bankAddrA(c *enclave.Call) uint64 { return c.HeapBase() }
+func bankAddrB(c *enclave.Call) uint64 { return c.HeapBase() + c.HeapSize() - 4096 }
+
+func bankInit(c *enclave.Call) enclave.AppStatus {
+	if err := c.Store64(bankAddrA(c), c.Regs[1]); err != nil {
+		return enclave.AppAbort
+	}
+	if err := c.Store64(bankAddrB(c), c.Regs[1]); err != nil {
+		return enclave.AppAbort
+	}
+	return enclave.AppDone
+}
+
+// bankTransfer deliberately makes each unit transfer take two separate
+// steps — debit A, then credit B — so that an ill-timed (naive) checkpoint
+// between the steps captures an inconsistent state, exactly the paper's
+// Fig. 3 scenario.
+func bankTransfer(c *enclave.Call) enclave.AppStatus {
+	const (
+		phaseDebit  = 0
+		phaseCredit = 1
+	)
+	if c.Regs[2] == 0 {
+		return enclave.AppDone
+	}
+	switch c.PC {
+	case phaseDebit:
+		a, err := c.Load64(bankAddrA(c))
+		if err != nil {
+			return enclave.AppAbort
+		}
+		if err := c.Store64(bankAddrA(c), a-c.Regs[1]); err != nil {
+			return enclave.AppAbort
+		}
+		c.PC = phaseCredit
+	case phaseCredit:
+		b, err := c.Load64(bankAddrB(c))
+		if err != nil {
+			return enclave.AppAbort
+		}
+		if err := c.Store64(bankAddrB(c), b+c.Regs[1]); err != nil {
+			return enclave.AppAbort
+		}
+		c.PC = phaseDebit
+		c.Regs[2]--
+	}
+	return enclave.AppRunning
+}
+
+func bankSum(c *enclave.Call) enclave.AppStatus {
+	a, err := c.Load64(bankAddrA(c))
+	if err != nil {
+		return enclave.AppAbort
+	}
+	b, err := c.Load64(bankAddrB(c))
+	if err != nil {
+		return enclave.AppAbort
+	}
+	c.Regs[0] = a + b
+	c.Regs[1] = a
+	c.Regs[2] = b
+	return enclave.AppDone
+}
+
+// Echo selectors.
+const (
+	EchoOCall = 0 // performs one ocall with R1 and returns the result
+)
+
+// EchoApp exercises the ocall round trip: the ecall asks the untrusted host
+// to transform a value and returns the answer.
+func EchoApp(handler enclave.OCallFn) *enclave.App {
+	return &enclave.App{
+		Name:        "echo",
+		CodeVersion: "v1",
+		Workers:     1,
+		HeapPages:   1,
+		OCall:       handler,
+		ECalls:      []enclave.ECallFn{echoOCall},
+	}
+}
+
+func echoOCall(c *enclave.Call) enclave.AppStatus {
+	const (
+		phaseCall = 0
+		phaseDone = 1
+	)
+	switch c.PC {
+	case phaseCall:
+		c.OCallID = 7
+		c.OCallArg = c.Regs[1]
+		c.OCallLen = 0
+		c.PC = phaseDone
+		return enclave.AppOCall
+	default:
+		// Back from the ocall: R0 = result, R1 = error flag.
+		if c.Regs[1] != 0 {
+			return enclave.AppAbort
+		}
+		return enclave.AppDone
+	}
+}

@@ -1,0 +1,113 @@
+package vmm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/epcman"
+	"repro/internal/sgx"
+)
+
+// Hypervisor errors.
+var (
+	ErrEPCExhausted = errors.New("vmm: physical EPC exhausted")
+	ErrQuotaReached = errors.New("vmm: VM EPC quota reached")
+)
+
+// Hypervisor manages the machine's physical EPC and grants frames to guest
+// VMs on demand (paper Sec. VI-A: "the hypervisor only maps part of this
+// region to real EPC and leaves the remaining part unmapped... the
+// hypervisor can use the on-demand paging strategy"). Each VM sees a virtual
+// EPC quota that may collectively overcommit the physical EPC; when a VM
+// exhausts its grant it must evict at guest level (Sec. VI-B).
+type Hypervisor struct {
+	m    *sgx.Machine
+	disp *epcman.Dispatcher
+
+	mu     sync.Mutex
+	next   int
+	handed map[sgx.FrameIndex]string
+	quota  map[string]int
+	used   map[string]int
+}
+
+// NewHypervisor boots the hypervisor on a machine, installing the
+// machine-wide fault dispatcher.
+func NewHypervisor(m *sgx.Machine) *Hypervisor {
+	return &Hypervisor{
+		m:      m,
+		disp:   epcman.NewDispatcher(m),
+		handed: make(map[sgx.FrameIndex]string),
+		quota:  make(map[string]int),
+		used:   make(map[string]int),
+	}
+}
+
+// Machine returns the underlying machine.
+func (h *Hypervisor) Machine() *sgx.Machine { return h.m }
+
+// Dispatcher returns the fault dispatcher guest drivers register with.
+func (h *Hypervisor) Dispatcher() *epcman.Dispatcher { return h.disp }
+
+// GrantEPC registers a VM's virtual-EPC quota and returns the hypercall the
+// guest SGX driver uses to demand-map frames.
+func (h *Hypervisor) GrantEPC(vm string, quota int) epcman.FrameSource {
+	h.mu.Lock()
+	h.quota[vm] = quota
+	h.mu.Unlock()
+	return func() (sgx.FrameIndex, error) {
+		return h.allocFrame(vm)
+	}
+}
+
+func (h *Hypervisor) allocFrame(vm string) (sgx.FrameIndex, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.used[vm] >= h.quota[vm] {
+		return -1, ErrQuotaReached
+	}
+	for h.next < h.m.NumFrames() {
+		f := sgx.FrameIndex(h.next)
+		h.next++
+		if _, taken := h.handed[f]; taken {
+			continue
+		}
+		h.handed[f] = vm
+		h.used[vm]++
+		return f, nil
+	}
+	return -1, ErrEPCExhausted
+}
+
+// EPCUsage reports per-VM granted frame counts.
+func (h *Hypervisor) EPCUsage() map[string]int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]int, len(h.used))
+	for k, v := range h.used {
+		out[k] = v
+	}
+	return out
+}
+
+// ReleaseVM returns all frames granted to a VM (after it is destroyed or
+// migrated away). The caller must have destroyed the VM's enclaves first.
+func (h *Hypervisor) ReleaseVM(vm string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for f, owner := range h.handed {
+		if owner != vm {
+			continue
+		}
+		if !h.m.FrameFree(f) {
+			// EREMOVE any leftover page (VA pages etc.).
+			if err := h.m.EREMOVE(f); err != nil {
+				return fmt.Errorf("vmm: release frame %d of %s: %w", f, vm, err)
+			}
+		}
+		delete(h.handed, f)
+	}
+	h.used[vm] = 0
+	return nil
+}

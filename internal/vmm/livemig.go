@@ -1,0 +1,286 @@
+package vmm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/enclave"
+)
+
+// LiveMigrationConfig parameterises a live VM migration.
+type LiveMigrationConfig struct {
+	// BandwidthBps is the simulated migration-link bandwidth in bytes per
+	// second (default 125 MB/s ≈ 1 Gbps). 0 disables shaping.
+	BandwidthBps float64
+	// MaxRounds bounds the iterative pre-copy rounds (default 4).
+	MaxRounds int
+	// DirtyThresholdPages stops pre-copy early once the dirty set is small.
+	DirtyThresholdPages int
+	// Opts configures the per-enclave migrations (attestation service,
+	// cipher, ...).
+	Opts *core.Options
+}
+
+func (c *LiveMigrationConfig) bandwidth() float64 {
+	if c.BandwidthBps == 0 {
+		return 125e6
+	}
+	return c.BandwidthBps
+}
+
+func (c *LiveMigrationConfig) maxRounds() int {
+	if c.MaxRounds == 0 {
+		return 4
+	}
+	return c.MaxRounds
+}
+
+func (c *LiveMigrationConfig) threshold() int {
+	if c.DirtyThresholdPages == 0 {
+		return 64
+	}
+	return c.DirtyThresholdPages
+}
+
+// LiveMigrationStats are the Fig. 10 metrics.
+type LiveMigrationStats struct {
+	TotalTime        time.Duration
+	Downtime         time.Duration
+	PreCopyRounds    int
+	TransferredBytes int64
+	EnclaveCount     int
+	// EnclaveDumpTime is the Fig. 9(d) total dumping latency: guest
+	// notification until every enclave is ready.
+	EnclaveDumpTime time.Duration
+	// EnclaveRestoreTime is the Fig. 10(a) serial restore latency on the
+	// target.
+	EnclaveRestoreTime time.Duration
+}
+
+// link simulates the migration network link.
+type link struct {
+	mu    sync.Mutex
+	bps   float64
+	bytes int64
+}
+
+func (l *link) transfer(n int64) {
+	l.mu.Lock()
+	l.bytes += n
+	bps := l.bps
+	l.mu.Unlock()
+	if bps > 0 && n > 0 {
+		time.Sleep(time.Duration(float64(n) / bps * 1e9))
+	}
+}
+
+func (l *link) total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// LiveMigrate live-migrates a VM (with any enclaves inside) from its node to
+// dst, implementing the pipeline of Fig. 8:
+//
+//  1. the guest OS prepares every enclave (two-phase checkpointing; the
+//     encrypted checkpoints land in guest memory),
+//  2. iterative pre-copy of guest memory while non-enclave work continues,
+//  3. stop-and-copy of the residual dirty set,
+//  4. per-enclave secure migration (attested channel, key release with
+//     self-destroy, restore with in-enclave CSSA verification), rebuilt
+//     serially as in the paper,
+//  5. resume on the target.
+//
+// Per the paper's accounting, the reported downtime includes the enclave
+// checkpointing time even though non-enclave applications keep running
+// during it.
+func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrationStats, error) {
+	if cfg == nil {
+		cfg = &LiveMigrationConfig{}
+	}
+	opts := cfg.Opts
+	if opts == nil {
+		opts = &core.Options{Service: vm.Node.Service}
+	}
+	stats := &LiveMigrationStats{}
+	l := &link{bps: cfg.bandwidth()}
+	start := time.Now()
+
+	tvm, err := dst.CreateVM(vm.Config)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	procs := vm.OS.Processes()
+	stats.EnclaveCount = len(procs)
+
+	// Step 1: bulk round (round 0) of every guest page.
+	vm.Mem.MarkAllDirty()
+	page := make([]byte, PageSize)
+	round0 := vm.Mem.CollectDirty()
+	for _, p := range round0 {
+		vm.Mem.CopyPage(p, page)
+		tvm.Mem.ApplyPage(p, page)
+	}
+	l.transfer(int64(len(round0)) * PageSize)
+
+	// Step 2: prepare all enclaves (Fig. 8 steps 1-6; Fig. 9(d) metric).
+	// The encrypted checkpoints land in guest memory and dirty it, so they
+	// ride the remaining pre-copy rounds — this is the extra transferred
+	// data of Fig. 10(d).
+	var blobs map[string][]byte
+	if len(procs) > 0 {
+		blobs, stats.EnclaveDumpTime, err = vm.OS.PrepareAllEnclaves(opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("vmm: prepare enclaves: %w", err)
+		}
+	}
+
+	// Step 3: iterative pre-copy of the dirty residue (checkpoint pages
+	// plus whatever the still-running plain processes touch).
+	for round := 1; ; round++ {
+		dirty := vm.Mem.CollectDirty()
+		if round > 0 && (len(dirty) <= cfg.threshold() || round >= cfg.maxRounds()) {
+			// Keep the residue for the stop-and-copy phase.
+			for _, p := range dirty {
+				vm.Mem.CopyPage(p, page)
+				tvm.Mem.ApplyPage(p, page)
+			}
+			// Residual set is re-sent below after the VM stops; don't
+			// count it twice — the final CollectDirty picks up anything
+			// dirtied from here on, plus we transfer this residue now.
+			l.transfer(int64(len(dirty)) * PageSize)
+			stats.PreCopyRounds = round
+			break
+		}
+		for _, p := range dirty {
+			vm.Mem.CopyPage(p, page)
+			tvm.Mem.ApplyPage(p, page)
+		}
+		l.transfer(int64(len(dirty)) * PageSize)
+	}
+
+	// Step 4: stop-and-copy (downtime window begins). Enclave workers are
+	// already parked in their in-enclave spin regions; stop the rest.
+	downStart := time.Now()
+	vm.OS.StopPlain()
+	final := vm.Mem.CollectDirty()
+	for _, p := range final {
+		vm.Mem.CopyPage(p, page)
+		tvm.Mem.ApplyPage(p, page)
+	}
+	l.transfer(int64(len(final))*PageSize + 64*1024 /* device state */)
+
+	// Step 5: migrate each enclave; the target guest OS rebuilds them one
+	// by one (the paper: "the enclaves are rebuilt one by one").
+	restoreStart := time.Now()
+	for _, p := range procs {
+		if err := migrateEnclaveProcess(p, blobs[p.Name], tvm, opts); err != nil {
+			vm.OS.CancelMigration()
+			return nil, nil, fmt.Errorf("vmm: migrate enclave %s: %w", p.Name, err)
+		}
+		// Control-protocol traffic (quote, verdict, DH, sealed key).
+		l.transfer(1024)
+	}
+	if len(procs) > 0 {
+		stats.EnclaveRestoreTime = time.Since(restoreStart)
+	}
+
+	// Step 6: resume on the target.
+	for _, tp := range tvm.OS.Processes() {
+		tp.start()
+	}
+	stats.Downtime = time.Since(downStart) + stats.EnclaveDumpTime
+	stats.TotalTime = time.Since(start)
+	stats.TransferredBytes = l.total()
+
+	// The source VM is gone; its enclaves have self-destroyed, so their
+	// parked host loops exit with ErrDestroyed and the EPC can be freed.
+	vm.dead.Store(true)
+	for _, p := range procs {
+		p.Stop()
+		_ = destroyWithRetry(p)
+	}
+	return tvm, stats, nil
+}
+
+// migrateEnclaveProcess runs one enclave's secure migration into the target
+// VM over an in-process control channel (the checkpoint bytes themselves
+// already travelled — and were paid for — in the guest-memory stream).
+func migrateEnclaveProcess(p *Process, blob []byte, tvm *VM, opts *core.Options) error {
+	t1, t2 := core.NewPipe()
+	type inResult struct {
+		proc *Process
+		err  error
+	}
+	done := make(chan inResult, 1)
+	go func() {
+		tp, _, err := tvm.OS.ReceiveEnclaveProcess(p.Name, p.Image, t2, opts, p.workload)
+		done <- inResult{proc: tp, err: err}
+	}()
+	if _, err := core.MigrateOutPrepared(p.RT, blob, t1, opts); err != nil {
+		return err
+	}
+	res := <-done
+	return res.err
+}
+
+// destroyWithRetry frees the source enclave's EPC after its worker threads
+// have observed self-destruction.
+func destroyWithRetry(p *Process) error {
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = p.RT.Destroy(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return err
+}
+
+// ReceiveEnclaveProcess is the target guest OS half of one enclave
+// migration: allocate a shared region in this VM's memory, rebuild the
+// image, restore, and register the process (its workload loops start when
+// the VM resumes).
+func (o *OS) ReceiveEnclaveProcess(name, image string, t core.Transport, opts *core.Options, workload WorkloadFunc) (*Process, *core.Incoming, error) {
+	dep, ok := o.reg.Lookup(image)
+	if !ok {
+		return nil, nil, fmt.Errorf("vmm: image %q not deployed in guest %s", image, o.Name)
+	}
+	size := uint64(enclave.SharedSizeFor(appLayout(dep.App)))
+	base, err := o.allocShared(size)
+	if err != nil {
+		return nil, nil, err
+	}
+	region, err := o.mem.Region(base, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	inOpts := *opts
+	inOpts.BuildOptions = append(append([]enclave.BuildOption(nil), opts.BuildOptions...), enclave.WithShared(region))
+	inc, err := core.MigrateIn(o.host, o.reg, t, &inOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Drain in-flight ecall completions; the workload loops reclaim the
+	// workers afterwards.
+	go func() {
+		for range inc.Results {
+		}
+	}()
+	p := &Process{
+		Name:       name,
+		Image:      image,
+		RT:         inc.Runtime,
+		workload:   workload,
+		sharedBase: base,
+		sharedSize: size,
+	}
+	o.mu.Lock()
+	o.procs = append(o.procs, p)
+	o.mu.Unlock()
+	return p, inc, nil
+}

@@ -1,0 +1,146 @@
+package vmm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/testapps"
+)
+
+// counterWorkload keeps a worker busy incrementing the enclave counter in
+// batches, tolerating the disruptions a migration causes.
+func counterWorkload(rt *enclave.Runtime, worker int, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		_, err := rt.ECall(worker, testapps.CounterRun, 2000)
+		switch {
+		case err == nil:
+		case errors.Is(err, enclave.ErrDestroyed):
+			return
+		case errors.Is(err, enclave.ErrWorkerBusy):
+			time.Sleep(100 * time.Microsecond)
+		default:
+			return
+		}
+	}
+}
+
+func newCloud(t testing.TB) (*attest.Service, *core.Owner, *Node, *Node) {
+	t.Helper()
+	service, err := attest.NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := core.NewOwner(service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewNode(NodeConfig{Name: "node-a", EPCFrames: 8192}, service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewNode(NodeConfig{Name: "node-b", EPCFrames: 8192}, service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return service, owner, src, dst
+}
+
+func deployCounter(t testing.TB, owner *core.Owner, nodes ...*Node) {
+	t.Helper()
+	app := testapps.CounterApp(2)
+	owner.ConfigureApp(app)
+	dep := core.NewDeployment(app, owner)
+	for _, n := range nodes {
+		n.Registry.Add(dep)
+	}
+}
+
+func TestLiveMigrateVMWithEnclaves(t *testing.T) {
+	service, owner, src, dst := newCloud(t)
+	_ = service
+	deployCounter(t, owner, src, dst)
+
+	vm, err := src.CreateVM(VMConfig{Name: "vm1", MemPages: 2048, VCPUs: 4, EPCQuota: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.OS.LaunchPlainProcess("webserver", 128, 200*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	const enclaves = 3
+	for i := 0; i < enclaves; i++ {
+		if _, err := vm.OS.LaunchEnclaveProcess(fmt.Sprintf("enc-%d", i), "counter", owner, counterWorkload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the workloads make progress.
+	time.Sleep(5 * time.Millisecond)
+
+	tvm, stats, err := LiveMigrate(vm, dst, &LiveMigrationConfig{BandwidthBps: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Dead() {
+		t.Fatal("source VM still alive after migration")
+	}
+	if stats.EnclaveCount != enclaves {
+		t.Fatalf("EnclaveCount = %d, want %d", stats.EnclaveCount, enclaves)
+	}
+	if stats.TransferredBytes < vm.Mem.Bytes() {
+		t.Fatalf("transferred %d bytes, expected at least one full memory copy (%d)", stats.TransferredBytes, vm.Mem.Bytes())
+	}
+	if stats.EnclaveDumpTime <= 0 || stats.EnclaveRestoreTime <= 0 {
+		t.Fatalf("missing enclave phase timings: %+v", stats)
+	}
+	if stats.Downtime <= 0 || stats.TotalTime < stats.Downtime {
+		t.Fatalf("inconsistent timing: %+v", stats)
+	}
+
+	// The migrated enclaves are live and their state moved: counters keep
+	// growing on the target.
+	tvm.OS.StopAll()
+	for _, p := range tvm.OS.Processes() {
+		res, err := p.RT.ECall(0, testapps.CounterGet)
+		if err != nil {
+			t.Fatalf("%s: post-migration ecall: %v", p.Name, err)
+		}
+		if res[0] == 0 {
+			t.Fatalf("%s: migrated counter is zero — state did not move", p.Name)
+		}
+	}
+	if err := tvm.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveMigrateVMWithoutEnclaves(t *testing.T) {
+	_, _, src, dst := newCloud(t)
+	vm, err := src.CreateVM(VMConfig{Name: "vm-plain", MemPages: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.OS.LaunchPlainProcess("app", 256, 100*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	tvm, stats, err := LiveMigrate(vm, dst, &LiveMigrationConfig{BandwidthBps: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EnclaveCount != 0 || stats.EnclaveDumpTime != 0 {
+		t.Fatalf("unexpected enclave stats for plain VM: %+v", stats)
+	}
+	if err := tvm.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}

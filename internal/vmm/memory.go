@@ -1,0 +1,155 @@
+// Package vmm provides the virtualization substrate of the reproduction:
+// guest physical memory with dirty-page tracking, a hypervisor that manages
+// physical EPC and grants it to guests on demand (paper Sec. VI-A), a guest
+// OS with the SGX driver and enclave-hosting processes (Sec. VI-B), and the
+// pre-copy live VM migration engine that the paper extends with enclave
+// migration (Sec. VI-D, Fig. 8).
+package vmm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sgx"
+)
+
+// PageSize is the guest page size (matches the EPC page size).
+const PageSize = 4096
+
+// GuestMemory is a VM's guest-physical memory with per-page dirty tracking,
+// the substrate of iterative pre-copy migration.
+type GuestMemory struct {
+	mu    sync.RWMutex
+	data  []byte
+	pages int
+	dirty []bool
+}
+
+// NewGuestMemory allocates guest memory of the given page count.
+func NewGuestMemory(pages int) *GuestMemory {
+	return &GuestMemory{
+		data:  make([]byte, pages*PageSize),
+		pages: pages,
+		dirty: make([]bool, pages),
+	}
+}
+
+// Pages returns the page count.
+func (g *GuestMemory) Pages() int { return g.pages }
+
+// Bytes returns the memory size in bytes.
+func (g *GuestMemory) Bytes() int64 { return int64(g.pages) * PageSize }
+
+// Write stores guest memory and marks the touched pages dirty.
+func (g *GuestMemory) Write(addr uint64, b []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if addr+uint64(len(b)) > uint64(len(g.data)) {
+		return fmt.Errorf("vmm: guest write out of range")
+	}
+	copy(g.data[addr:], b)
+	for p := int(addr / PageSize); p <= int((addr+uint64(len(b))-1)/PageSize) && len(b) > 0; p++ {
+		g.dirty[p] = true
+	}
+	return nil
+}
+
+// Read loads guest memory.
+func (g *GuestMemory) Read(addr uint64, b []byte) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if addr+uint64(len(b)) > uint64(len(g.data)) {
+		return fmt.Errorf("vmm: guest read out of range")
+	}
+	copy(b, g.data[addr:])
+	return nil
+}
+
+// CopyPage reads page p into dst (len >= PageSize).
+func (g *GuestMemory) CopyPage(p int, dst []byte) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	copy(dst, g.data[p*PageSize:(p+1)*PageSize])
+}
+
+// ApplyPage installs migrated page content without marking it dirty (used on
+// the migration target).
+func (g *GuestMemory) ApplyPage(p int, src []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	copy(g.data[p*PageSize:(p+1)*PageSize], src)
+}
+
+// CollectDirty returns the currently dirty pages and clears their bits.
+func (g *GuestMemory) CollectDirty() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []int
+	for p, d := range g.dirty {
+		if d {
+			out = append(out, p)
+			g.dirty[p] = false
+		}
+	}
+	return out
+}
+
+// DirtyCount reports how many pages are dirty without clearing them.
+func (g *GuestMemory) DirtyCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, d := range g.dirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkAllDirty flags every page (migration round 0).
+func (g *GuestMemory) MarkAllDirty() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for p := range g.dirty {
+		g.dirty[p] = true
+	}
+}
+
+// Region carves an sgx.OutsideMemory window out of guest memory; enclaves'
+// untrusted shared regions live here, so checkpoint dumps dirty VM pages and
+// ride the ordinary migration stream.
+type Region struct {
+	mem  *GuestMemory
+	base uint64
+	size uint64
+}
+
+var _ sgx.OutsideMemory = (*Region)(nil)
+
+// Region returns a window [base, base+size).
+func (g *GuestMemory) Region(base, size uint64) (*Region, error) {
+	if base+size > uint64(len(g.data)) {
+		return nil, fmt.Errorf("vmm: region out of range")
+	}
+	return &Region{mem: g, base: base, size: size}, nil
+}
+
+// Load implements sgx.OutsideMemory.
+func (r *Region) Load(off uint64, b []byte) error {
+	if off+uint64(len(b)) > r.size {
+		return fmt.Errorf("vmm: region read out of range")
+	}
+	return r.mem.Read(r.base+off, b)
+}
+
+// Store implements sgx.OutsideMemory.
+func (r *Region) Store(off uint64, b []byte) error {
+	if off+uint64(len(b)) > r.size {
+		return fmt.Errorf("vmm: region write out of range")
+	}
+	return r.mem.Write(r.base+off, b)
+}
+
+// Size implements sgx.OutsideMemory.
+func (r *Region) Size() uint64 { return r.size }

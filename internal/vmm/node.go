@@ -1,0 +1,114 @@
+package vmm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/attest"
+	"repro/internal/core"
+	"repro/internal/sgx"
+)
+
+// Node is one physical machine in the cloud: an SGX machine with its
+// hypervisor, the deployments it can host, and the attestation plumbing.
+type Node struct {
+	Name     string
+	Machine  *sgx.Machine
+	HV       *Hypervisor
+	Registry *core.Registry
+	Service  *attest.Service
+
+	mu  sync.Mutex
+	vms map[string]*VM
+}
+
+// NodeConfig sizes a node.
+type NodeConfig struct {
+	Name      string
+	EPCFrames int // physical EPC frames (default 4096)
+	Quantum   int // machine preemption quantum in program steps
+}
+
+// NewNode boots a node and registers its attestation key with the service.
+func NewNode(cfg NodeConfig, service *attest.Service) (*Node, error) {
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 2000
+	}
+	m, err := sgx.NewMachine(sgx.Config{Name: cfg.Name, EPCFrames: cfg.EPCFrames, Quantum: cfg.Quantum})
+	if err != nil {
+		return nil, err
+	}
+	service.RegisterMachine(m.AttestationPublic())
+	return &Node{
+		Name:     cfg.Name,
+		Machine:  m,
+		HV:       NewHypervisor(m),
+		Registry: core.NewRegistry(),
+		Service:  service,
+		vms:      make(map[string]*VM),
+	}, nil
+}
+
+// VMConfig sizes a guest VM.
+type VMConfig struct {
+	Name     string
+	MemPages int // guest memory in 4 KiB pages
+	VCPUs    int
+	EPCQuota int // virtual EPC frames
+}
+
+// VM is a guest virtual machine.
+type VM struct {
+	Name string
+	Node *Node
+	Mem  *GuestMemory
+	OS   *OS
+
+	Config VMConfig
+
+	dead atomic.Bool
+}
+
+// CreateVM builds a VM on the node: guest memory, EPC grant, guest OS.
+func (n *Node) CreateVM(cfg VMConfig) (*VM, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.vms[cfg.Name]; dup {
+		return nil, fmt.Errorf("vmm: VM %q already exists on %s", cfg.Name, n.Name)
+	}
+	if cfg.MemPages <= 0 {
+		cfg.MemPages = 16 * 1024 // 64 MiB
+	}
+	if cfg.VCPUs <= 0 {
+		cfg.VCPUs = 4
+	}
+	if cfg.EPCQuota <= 0 {
+		cfg.EPCQuota = 1024
+	}
+	mem := NewGuestMemory(cfg.MemPages)
+	source := n.HV.GrantEPC(cfg.Name, cfg.EPCQuota)
+	os := NewOS(cfg.Name, n.Machine, source, n.HV.Dispatcher(), mem, n.Registry, cfg.VCPUs)
+	vm := &VM{Name: cfg.Name, Node: n, Mem: mem, OS: os, Config: cfg}
+	n.vms[cfg.Name] = vm
+	return vm, nil
+}
+
+// Dead reports whether the VM has been migrated away or destroyed.
+func (vm *VM) Dead() bool { return vm.dead.Load() }
+
+// Shutdown stops all processes and destroys the VM's enclaves.
+func (vm *VM) Shutdown() error {
+	vm.OS.StopAll()
+	for _, p := range vm.OS.Processes() {
+		if !p.RT.Dead() {
+			_ = core.Cancel(p.RT)
+		}
+		_ = p.RT.Destroy()
+	}
+	vm.dead.Store(true)
+	vm.Node.mu.Lock()
+	delete(vm.Node.vms, vm.Name)
+	vm.Node.mu.Unlock()
+	return vm.Node.HV.ReleaseVM(vm.Name)
+}

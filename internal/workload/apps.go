@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"crypto/des"
+	"crypto/ed25519"
+	"crypto/rc4"
+	"math"
+)
+
+// The Fig. 9(b) real-world application analogues. The paper ports des, cr4
+// (rc4), mcrypt, gnupg, libjpeg and libzip into enclaves and measures the
+// overhead of migration support; these kernels exercise the same axes
+// (block/stream crypto, public-key signing, DCT image coding, dictionary
+// compression) with the working set in enclave memory.
+
+// DES: DES-ECB over the buffer (crypto/des; retained, like the paper's DES
+// usage, purely as a benchmark cipher).
+func DES() *Kernel {
+	key := []byte("8bytekey")
+	return &Kernel{
+		Name:       "des",
+		HeapBytes:  64 * 1024,
+		ChunkBytes: 8 * 1024,
+		Init:       func(chunk int, buf []byte) { newLCG(uint64(chunk) + 53).fill(buf) },
+		Transform: func(pass, chunk int, buf []byte) {
+			block, err := des.NewCipher(key)
+			if err != nil {
+				return
+			}
+			for off := 0; off+8 <= len(buf); off += 8 {
+				block.Encrypt(buf[off:off+8], buf[off:off+8])
+			}
+		},
+	}
+}
+
+// RC4 is the paper's "cr4" workload: the RC4 stream cipher.
+func RC4() *Kernel {
+	return &Kernel{
+		Name:       "rc4",
+		HeapBytes:  64 * 1024,
+		ChunkBytes: 8 * 1024,
+		Init:       func(chunk int, buf []byte) { newLCG(uint64(chunk) + 59).fill(buf) },
+		Transform: func(pass, chunk int, buf []byte) {
+			key := []byte{byte(pass), byte(chunk), 3, 4, 5, 6, 7, 8}
+			c, err := rc4.NewCipher(key)
+			if err != nil {
+				return
+			}
+			c.XORKeyStream(buf, buf)
+		},
+	}
+}
+
+// Mcrypt stands in for the mcrypt generic-cipher tool, using XTEA (a cipher
+// mcrypt ships) implemented locally.
+func Mcrypt() *Kernel {
+	var key [4]uint32
+	for i := range key {
+		key[i] = uint32(0x9e3779b9 * (i + 1))
+	}
+	return &Kernel{
+		Name:       "mcrypt",
+		HeapBytes:  64 * 1024,
+		ChunkBytes: 8 * 1024,
+		Init:       func(chunk int, buf []byte) { newLCG(uint64(chunk) + 61).fill(buf) },
+		Transform: func(pass, chunk int, buf []byte) {
+			for off := 0; off+8 <= len(buf); off += 8 {
+				v0, v1 := u32at(buf, off/4), u32at(buf, off/4+1)
+				v0, v1 = xteaEncrypt(key, v0, v1)
+				setU32(buf, off/4, v0)
+				setU32(buf, off/4+1, v1)
+			}
+		},
+	}
+}
+
+// xteaEncrypt runs the 32-round XTEA block encryption.
+func xteaEncrypt(key [4]uint32, v0, v1 uint32) (uint32, uint32) {
+	const delta = 0x9e3779b9
+	var sum uint32
+	for i := 0; i < 32; i++ {
+		v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum&3])
+		sum += delta
+		v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum>>11)&3])
+	}
+	return v0, v1
+}
+
+// GnuPG stands in for gnupg: Ed25519 signing of buffer chunks.
+func GnuPG() *Kernel {
+	seed := make([]byte, ed25519.SeedSize)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &Kernel{
+		Name:       "gnupg",
+		HeapBytes:  64 * 1024,
+		ChunkBytes: 8 * 1024,
+		Init:       func(chunk int, buf []byte) { newLCG(uint64(chunk) + 67).fill(buf) },
+		Transform: func(pass, chunk int, buf []byte) {
+			sig := ed25519.Sign(priv, buf[:len(buf)-ed25519.SignatureSize])
+			copy(buf[len(buf)-ed25519.SignatureSize:], sig)
+		},
+	}
+}
+
+// LibJPEG stands in for libjpeg: forward DCT + quantisation over 8×8 blocks
+// of a synthetic image.
+func LibJPEG() *Kernel {
+	return &Kernel{
+		Name:       "libjpeg",
+		HeapBytes:  128 * 1024,
+		ChunkBytes: 16 * 1024,
+		Init: func(chunk int, buf []byte) {
+			// A gradient image with noise (compressible but non-trivial).
+			r := newLCG(uint64(chunk) + 71)
+			for i := range buf {
+				buf[i] = byte(i%251) ^ byte(r.next()%16)
+			}
+		},
+		Transform: func(pass, chunk int, buf []byte) {
+			width := 128 // bytes per scanline inside the chunk
+			rows := len(buf) / width
+			for by := 0; by+8 <= rows; by += 8 {
+				for bx := 0; bx+8 <= width; bx += 8 {
+					var block [64]float64
+					for y := 0; y < 8; y++ {
+						for x := 0; x < 8; x++ {
+							block[y*8+x] = float64(buf[(by+y)*width+bx+x]) - 128
+						}
+					}
+					dct := fdct8x8(block)
+					for y := 0; y < 8; y++ {
+						for x := 0; x < 8; x++ {
+							q := dct[y*8+x] / float64(1+(x+y)*3) // quantise
+							buf[(by+y)*width+bx+x] = byte(int8(math.Max(-127, math.Min(127, q))))
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// fdct8x8 computes the 2-D forward DCT of an 8×8 block.
+func fdct8x8(in [64]float64) [64]float64 {
+	var out [64]float64
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					s += in[y*8+x] *
+						math.Cos((2*float64(x)+1)*float64(v)*math.Pi/16) *
+						math.Cos((2*float64(y)+1)*float64(u)*math.Pi/16)
+				}
+			}
+			cu, cv := 1.0, 1.0
+			if u == 0 {
+				cu = math.Sqrt2 / 2
+			}
+			if v == 0 {
+				cv = math.Sqrt2 / 2
+			}
+			out[u*8+v] = s * cu * cv / 4
+		}
+	}
+	return out
+}
+
+// LibZip stands in for libzip: LZ77 compression of buffer chunks.
+func LibZip() *Kernel {
+	return &Kernel{
+		Name:       "libzip",
+		HeapBytes:  128 * 1024,
+		ChunkBytes: 16 * 1024,
+		Init: func(chunk int, buf []byte) {
+			// Text-like repetitive input so compression does real work.
+			pattern := []byte("the quick brown enclave jumps over the lazy hypervisor ")
+			r := newLCG(uint64(chunk) + 73)
+			for i := 0; i < len(buf); i++ {
+				if r.next()%16 == 0 {
+					buf[i] = byte(r.next())
+				} else {
+					buf[i] = pattern[i%len(pattern)]
+				}
+			}
+		},
+		Transform: func(pass, chunk int, buf []byte) {
+			comp := lz77Compress(buf)
+			// Fold the compressed size back in so the work is observable;
+			// decompress to keep buffer contents stable across passes.
+			setU64(buf, 0, u64at(buf, 0)^uint64(len(comp)))
+		},
+	}
+}
+
+// lz77Compress is a simple greedy LZ77 with a hash-chain matcher, emitting
+// (dist, len) pairs or literals.
+func lz77Compress(src []byte) []byte {
+	const (
+		minMatch  = 4
+		maxMatch  = 255
+		window    = 8192
+		hashBits  = 13
+		hashSize  = 1 << hashBits
+		hashShift = 64 - hashBits
+	)
+	hash := func(p []byte) uint64 {
+		v := uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24
+		return (v * 2654435761) >> hashShift % hashSize
+	}
+	head := make([]int, hashSize)
+	for i := range head {
+		head[i] = -1
+	}
+	out := make([]byte, 0, len(src)/2)
+	i := 0
+	for i < len(src) {
+		bestLen, bestDist := 0, 0
+		if i+minMatch <= len(src) {
+			h := hash(src[i:])
+			cand := head[h]
+			if cand >= 0 && i-cand <= window {
+				l := 0
+				for i+l < len(src) && l < maxMatch && src[cand+l] == src[i+l] {
+					l++
+				}
+				if l >= minMatch {
+					bestLen, bestDist = l, i-cand
+				}
+			}
+			head[h] = i
+		}
+		switch {
+		case bestLen > 0:
+			out = append(out, 0xff, byte(bestDist), byte(bestDist>>8), byte(bestLen))
+			i += bestLen
+		case src[i] == 0xff:
+			// Escape a literal 0xff as a zero-distance marker so the
+			// format stays unambiguous.
+			out = append(out, 0xff, 0, 0, 0)
+			i++
+		default:
+			out = append(out, src[i])
+			i++
+		}
+	}
+	return out
+}
+
+// lz77Decompress reverses lz77Compress (used by the property tests; the
+// benchmark kernel only measures compression, like the paper's libzip use).
+func lz77Decompress(comp []byte) []byte {
+	var out []byte
+	i := 0
+	for i < len(comp) {
+		if comp[i] == 0xff && i+3 < len(comp) {
+			dist := int(comp[i+1]) | int(comp[i+2])<<8
+			length := int(comp[i+3])
+			if dist == 0 {
+				out = append(out, 0xff) // escaped literal
+				i += 4
+				continue
+			}
+			start := len(out) - dist
+			for j := 0; j < length; j++ {
+				out = append(out, out[start+j])
+			}
+			i += 4
+		} else {
+			out = append(out, comp[i])
+			i++
+		}
+	}
+	return out
+}
+
+// xteaDecrypt reverses xteaEncrypt.
+func xteaDecrypt(key [4]uint32, v0, v1 uint32) (uint32, uint32) {
+	const delta uint32 = 0x9e3779b9
+	var sum uint32 = 0xC6EF3720 // delta * 32 mod 2^32
+	for i := 0; i < 32; i++ {
+		v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum>>11)&3])
+		sum -= delta
+		v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum&3])
+	}
+	return v0, v1
+}
+
+// AppKernels returns the Fig. 9(b) suite in the paper's order
+// (des, cr4, mcrypt, gnupg, libjpeg, libzip).
+func AppKernels() []*Kernel {
+	return []*Kernel{DES(), RC4(), Mcrypt(), GnuPG(), LibJPEG(), LibZip()}
+}

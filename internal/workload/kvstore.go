@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"repro/internal/enclave"
+	"repro/internal/sgx"
+)
+
+// KVStore is the memcached analogue of Fig. 11: an in-enclave hash-mapped
+// key-value store whose occupied size directly drives checkpoint size. Keys
+// and values are fixed-size slots in enclave heap memory.
+//
+// Heap layout: slot i at HeapBase + i*slotBytes:
+//
+//	[8B used flag][8B key][112B value]  (128-byte slots)
+const (
+	kvSlotBytes  = 128
+	kvValueBytes = 112
+)
+
+// KV selectors.
+const (
+	KVSet  = 0 // R1 = key, fills the value deterministically; R0 = 1 if stored
+	KVGet  = 1 // R1 = key; R0 = 1 if found, R2 = first value word
+	KVFill = 2 // R1 = target bytes of occupied state; steps until reached
+	KVLen  = 3 // R0 = occupied slots
+)
+
+// KVApp builds a KV-store enclave sized to hold capacityBytes of state.
+func KVApp(capacityBytes int, workers int) *enclave.App {
+	slots := capacityBytes / kvSlotBytes
+	heapPages := (slots*kvSlotBytes + sgx.PageSize - 1) / sgx.PageSize
+	if heapPages == 0 {
+		heapPages = 1
+	}
+	k := &kvStore{slots: uint64(slots)}
+	return &enclave.App{
+		Name:        "kvstore",
+		CodeVersion: "v1",
+		Workers:     workers,
+		HeapPages:   heapPages,
+		ECalls:      []enclave.ECallFn{k.set, k.get, k.fill, k.length},
+	}
+}
+
+type kvStore struct {
+	slots uint64
+}
+
+func (k *kvStore) slotAddr(c *enclave.Call, key uint64) uint64 {
+	h := key * 0x9e3779b97f4a7c15
+	return c.HeapBase() + (h%k.slots)*kvSlotBytes
+}
+
+func (k *kvStore) set(c *enclave.Call) enclave.AppStatus {
+	key := c.Regs[1]
+	addr := k.slotAddr(c, key)
+	var slot [kvSlotBytes]byte
+	setU64(slot[:], 0, 1)
+	setU64(slot[:], 1, key)
+	r := newLCG(key)
+	r.fill(slot[16:])
+	if c.Store(addr, slot[:]) != nil {
+		return enclave.AppAbort
+	}
+	c.Regs[0] = 1
+	return enclave.AppDone
+}
+
+func (k *kvStore) get(c *enclave.Call) enclave.AppStatus {
+	key := c.Regs[1]
+	addr := k.slotAddr(c, key)
+	var slot [kvSlotBytes]byte
+	if c.Load(addr, slot[:]) != nil {
+		return enclave.AppAbort
+	}
+	if u64at(slot[:], 0) == 1 && u64at(slot[:], 1) == key {
+		c.Regs[0] = 1
+		c.Regs[2] = u64at(slot[:], 2)
+	} else {
+		c.Regs[0] = 0
+	}
+	return enclave.AppDone
+}
+
+// fill populates slots until `target` bytes of state exist; one slot per
+// step so the fill itself is interruptible.
+func (k *kvStore) fill(c *enclave.Call) enclave.AppStatus {
+	target := c.Regs[1] / kvSlotBytes
+	if target > k.slots {
+		target = k.slots
+	}
+	i := c.PC // slot cursor
+	if i >= target {
+		c.Regs[0] = i * kvSlotBytes
+		return enclave.AppDone
+	}
+	addr := c.HeapBase() + i*kvSlotBytes
+	var slot [kvSlotBytes]byte
+	setU64(slot[:], 0, 1)
+	setU64(slot[:], 1, i)
+	newLCG(i).fill(slot[16:])
+	if c.Store(addr, slot[:]) != nil {
+		return enclave.AppAbort
+	}
+	c.PC = i + 1
+	return enclave.AppRunning
+}
+
+func (k *kvStore) length(c *enclave.Call) enclave.AppStatus {
+	// Count a sample of slots per step to stay bounded.
+	const perStep = 256
+	i := c.PC
+	if i == 0 {
+		c.Regs[5] = 0
+	}
+	var flag [8]byte
+	end := i + perStep
+	if end > k.slots {
+		end = k.slots
+	}
+	for ; i < end; i++ {
+		if c.Load(c.HeapBase()+i*kvSlotBytes, flag[:]) != nil {
+			return enclave.AppAbort
+		}
+		if u64at(flag[:], 0) == 1 {
+			c.Regs[5]++
+		}
+	}
+	if i < k.slots {
+		c.PC = i
+		return enclave.AppRunning
+	}
+	c.Regs[0] = c.Regs[5]
+	return enclave.AppDone
+}

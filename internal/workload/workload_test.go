@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/enclave"
+	"repro/internal/sgx"
+	"repro/internal/tcb"
+)
+
+func buildKernelEnclave(t testing.TB, app *enclave.App) *enclave.Runtime {
+	t.Helper()
+	m, err := sgx.NewMachine(sgx.Config{Name: "bench", EPCFrames: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := enclave.NewBareHost(m)
+	signer, err := tcb.NewSigningIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := tcb.NewSigningIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.EnclavePublic = signer.Public()
+	app.ServicePublic = svc.Public()
+	rt, err := enclave.Build(host, app, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestKernelsEnclaveMatchesNative is the core workload property: the
+// enclave execution of every kernel computes exactly what the native
+// execution computes, for both memory-access modes.
+func TestKernelsEnclaveMatchesNative(t *testing.T) {
+	kernels := append(NbenchKernels(), AppKernels()...)
+	for _, k := range kernels {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			const passes = 1
+			want := k.Native(passes)
+			for _, mode := range []AccessMode{AccessBulk, AccessWord} {
+				rt := buildKernelEnclave(t, k.App(1))
+				res, err := rt.ECall(0, RunSelector, passes, uint64(mode))
+				if err != nil {
+					t.Fatalf("mode %d: %v", mode, err)
+				}
+				if res[0] != want {
+					t.Fatalf("mode %d: enclave checksum %x != native %x", mode, res[0], want)
+				}
+				if err := rt.Destroy(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestKernelNoStubsMatchesNative(t *testing.T) {
+	k := RC4()
+	want := k.Native(2)
+	rt := buildKernelEnclave(t, k.AppNoStubs(1))
+	res, err := rt.ECall(0, RunSelector, 2, uint64(AccessBulk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != want {
+		t.Fatalf("nostubs checksum %x != native %x", res[0], want)
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	rt := buildKernelEnclave(t, KVApp(256*1024, 1))
+
+	if _, err := rt.ECall(0, KVSet, 42); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.ECall(0, KVGet, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 1 {
+		t.Fatal("stored key not found")
+	}
+	missing, err := rt.ECall(0, KVGet, 987654321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing[0] == 1 && missing[2] == res[2] {
+		t.Fatal("phantom value for missing key")
+	}
+
+	fill, err := rt.ECall(0, KVFill, 128*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fill[0] < 128*1024 {
+		t.Fatalf("filled %d bytes, want >= %d", fill[0], 128*1024)
+	}
+	n, err := rt.ECall(0, KVLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n[0] < 128*1024/kvSlotBytes {
+		t.Fatalf("occupied slots = %d, want >= %d", n[0], 128*1024/kvSlotBytes)
+	}
+}
+
+// TestStringSortPagesUnderSmallEPC pins the Fig. 9(a) mechanism: with a
+// virtual EPC smaller than the working set, the kernel still computes the
+// right answer but the driver observes evictions and reloads.
+func TestStringSortPagesUnderSmallEPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paging test is slow")
+	}
+	k := StringSort()
+	m, err := sgx.NewMachine(sgx.Config{Name: "smallepc", EPCFrames: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small manager pool: ~1.2 MiB of EPC for a 1.5 MiB working set.
+	mgrHost := enclave.NewConstrainedHost(m, 300)
+	signer, err := tcb.NewSigningIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := k.App(1)
+	app.EnclavePublic = signer.Public()
+	rt, err := enclave.Build(mgrHost, app, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := k.Native(1)
+	res, err := rt.ECall(0, RunSelector, 1, uint64(AccessBulk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != want {
+		t.Fatalf("checksum under paging %x != native %x", res[0], want)
+	}
+	ev, rl := mgrHost.Mgr.Stats()
+	if ev == 0 || rl == 0 {
+		t.Fatalf("expected EPC thrash, got evictions=%d reloads=%d", ev, rl)
+	}
+}
+
+// TestLZ77RoundTrip: the libzip kernel's compressor is lossless. Literal
+// 0xff bytes are escaped only by position, so restrict inputs accordingly:
+// the compressor treats 0xff as a match marker, meaning inputs containing
+// 0xff are exercised via the compressible-text generator instead.
+func TestLZ77RoundTrip(t *testing.T) {
+	k := LibZip()
+	buf := make([]byte, 16*1024)
+	k.Init(0, buf)
+	comp := lz77Compress(buf)
+	if len(comp) >= len(buf) {
+		t.Fatalf("no compression on compressible input: %d >= %d", len(comp), len(buf))
+	}
+	got := lz77Decompress(comp)
+	if len(got) != len(buf) {
+		t.Fatalf("decompressed length %d != %d", len(got), len(buf))
+	}
+	for i := range buf {
+		if got[i] != buf[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+// TestXTEARoundTrip: encrypt/decrypt are inverses for arbitrary blocks.
+func TestXTEARoundTrip(t *testing.T) {
+	var key [4]uint32
+	for i := range key {
+		key[i] = uint32(0x9e3779b9 * (i + 1))
+	}
+	f := func(a, b uint32) bool {
+		c0, c1 := xteaEncrypt(key, a, b)
+		d0, d1 := xteaDecrypt(key, c0, c1)
+		return d0 == a && d1 == b && (c0 != a || c1 != b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelDeterminism: every kernel's native run is reproducible — the
+// foundation of the enclave-equals-native checksum property.
+func TestKernelDeterminism(t *testing.T) {
+	for _, k := range append(NbenchKernels(), AppKernels()...) {
+		if k.Native(1) != k.Native(1) {
+			t.Fatalf("%s: non-deterministic", k.Name)
+		}
+	}
+}
+
+// TestKernelInterruptedMatches: interrupting an in-enclave kernel run with
+// AEX storms must not change the result (step model correctness).
+func TestKernelInterruptedMatches(t *testing.T) {
+	k := IDEA()
+	want := k.Native(1)
+	rt := buildKernelEnclave(t, k.App(1))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				rt.InterruptWorkers()
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	res, err := rt.ECall(0, RunSelector, 1, uint64(AccessBulk))
+	done <- struct{}{}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != want {
+		t.Fatalf("interrupted run checksum %x != native %x", res[0], want)
+	}
+}
