@@ -1,0 +1,32 @@
+# The same gate CI runs (.github/workflows/ci.yml); `make check` before
+# sending a PR reproduces it locally.
+
+GO ?= go
+
+.PHONY: check build fmt vet lint test race bench
+
+check: build fmt vet lint test race
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/sgxlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -1,0 +1,74 @@
+// Command sgxlint runs the repo-specific static-analysis suite over the
+// module containing the working directory and prints one "file:line: rule:
+// message" diagnostic per finding, exiting nonzero if any survive. See
+// docs/LINT.md for the rule catalogue and suppression policy.
+//
+// Usage:
+//
+//	go run ./cmd/sgxlint ./...
+//	go run ./cmd/sgxlint -rules
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root to lint (default: nearest go.mod above the working directory)")
+	rules := flag.Bool("rules", false, "list the rules and exit")
+	flag.Parse()
+
+	if *rules {
+		for _, c := range lint.Checkers(lint.DefaultConfig("repro")) {
+			fmt.Printf("%-16s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgxlint:", err)
+			os.Exit(2)
+		}
+	}
+	diags, err := lint.Run(dir, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgxlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		if rel, err := filepath.Rel(dir, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sgxlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

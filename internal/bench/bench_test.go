@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/tcb"
+)
+
+// TestFig9cSmoke drives the most concurrent harness path — multiple
+// enclaves with busy workers checkpointing in parallel — at a small scale,
+// so `go test -race ./...` exercises the shared counters and transport/
+// agent state this package leans on. The full-size run stays in the
+// top-level benchmarks.
+func TestFig9cSmoke(t *testing.T) {
+	rows, err := Fig9c([]int{2}, tcb.CipherAESGCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	if rows[0].Enclaves != 2 || rows[0].Cipher != tcb.CipherAESGCM {
+		t.Fatalf("unexpected row: %+v", rows[0])
+	}
+	if rows[0].MeanPerEnc <= 0 {
+		t.Fatalf("non-positive mean checkpoint time: %v", rows[0].MeanPerEnc)
+	}
+}
+
+// TestFig9dSmoke covers the guest-OS fan-out (PrepareAllEnclaves) with two
+// enclaves inside one VM, the other concurrency hot spot the ISSUE calls
+// out (hypervisor state, guest process table).
+func TestFig9dSmoke(t *testing.T) {
+	rows, err := Fig9d([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Enclaves != 2 {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	if rows[0].TotalDump <= 0 {
+		t.Fatalf("non-positive dump time: %v", rows[0].TotalDump)
+	}
+}

@@ -38,7 +38,7 @@ func NewDeployment(app *enclave.App, owner *Owner) *Deployment {
 // Registry maps image names to deployments on a host.
 type Registry struct {
 	mu   sync.RWMutex
-	apps map[string]*Deployment
+	apps map[string]*Deployment // guarded by mu
 }
 
 // NewRegistry creates an empty registry.

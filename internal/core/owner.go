@@ -43,7 +43,7 @@ type Owner struct {
 	enclaveSeed [tcb.SeedSize]byte
 	service     *attest.Service
 	kencrypt    tcb.Key
-	audit       []AuditRecord
+	audit       []AuditRecord // guarded by mu
 }
 
 // NewOwner creates an owner registered against the attestation service.

@@ -56,7 +56,7 @@ type pipe struct {
 
 	delay     time.Duration // simulated one-way latency
 	byteNanos float64       // simulated nanoseconds per byte (bandwidth)
-	sent      *int64
+	sent      *int64        // guarded by sentMu
 	sentMu    *sync.Mutex
 }
 
@@ -144,7 +144,7 @@ type connTransport struct {
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	wmu  sync.Mutex
-	sent int64
+	sent int64 // guarded by wmu
 }
 
 // NewConnTransport wraps a network connection as a Transport.

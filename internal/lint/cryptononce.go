@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// cryptoNonce audits every call to (crypto/cipher.AEAD).Seal. GCM nonce
+// reuse under one key is catastrophic (it leaks the authentication key and
+// XORs of plaintexts), so the nonce argument must trace to an approved
+// source: a fresh random read (RandomBytes) or the versioned counter
+// construction (counterNonce) that the EWB anti-replay path relies on.
+// Sealing with literally empty additional data is also flagged: every
+// sealed blob in the migration protocol binds its context (enclave
+// identity, page metadata, protocol label) through the AAD.
+type cryptoNonce struct {
+	cfg *Config
+}
+
+func (*cryptoNonce) Name() string { return "cryptononce" }
+
+func (*cryptoNonce) Doc() string {
+	return "AES-GCM Seal nonces must come from an approved source; sealing paths must bind AAD"
+}
+
+func (cn *cryptoNonce) Check(prog *Program, pkg *Package) []Diagnostic {
+	approved := make(map[string]bool, len(cn.cfg.ApprovedNonceFns))
+	for _, fn := range cn.cfg.ApprovedNonceFns {
+		approved[fn] = true
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 4 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Seal" || !isAEAD(pkg.Info.TypeOf(sel.X)) {
+				return true
+			}
+			nonce := call.Args[1]
+			if !cn.nonceApproved(pkg, f, call, nonce, approved) {
+				diags = append(diags, Diagnostic{
+					Pos:  prog.Fset.Position(nonce.Pos()),
+					Rule: "cryptononce",
+					Message: fmt.Sprintf("AEAD Seal nonce %q is not derived from an approved source (%v); fixed or reused GCM nonces break confidentiality and integrity",
+						exprString(nonce), cn.cfg.ApprovedNonceFns),
+				})
+			}
+			if aad := call.Args[3]; emptyAAD(pkg, aad) {
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Fset.Position(aad.Pos()),
+					Rule:    "cryptononce",
+					Message: "AEAD Seal with empty additional data: sealing paths must bind their context (enclave identity, page metadata or protocol label) via AAD",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isAEAD reports whether t is the crypto/cipher.AEAD interface.
+func isAEAD(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "crypto/cipher" && obj.Name() == "AEAD"
+}
+
+// nonceApproved reports whether the nonce expression is an approved call,
+// or an identifier every assignment of which (within the enclosing
+// function) is an approved call.
+func (cn *cryptoNonce) nonceApproved(pkg *Package, f *ast.File, call *ast.CallExpr, nonce ast.Expr, approved map[string]bool) bool {
+	if c, ok := nonce.(*ast.CallExpr); ok {
+		return approved[calleeName(c)]
+	}
+	id, ok := nonce.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	fd := funcEnclosing(f, call.Pos())
+	if fd == nil {
+		return false
+	}
+	assigned := false
+	ok = true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, isIdent := lhs.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if pkg.Info.Uses[lid] != obj && pkg.Info.Defs[lid] != obj {
+				continue
+			}
+			assigned = true
+			// nonce, err := f(...) assigns from the single call on the RHS;
+			// otherwise match positionally.
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			c, isCall := rhs.(*ast.CallExpr)
+			if !isCall || !approved[calleeName(c)] {
+				ok = false
+			}
+		}
+		return true
+	})
+	return assigned && ok
+}
+
+// emptyAAD reports whether the AAD argument is literally empty: nil, an
+// empty slice literal, or a conversion of an empty string/slice.
+func emptyAAD(pkg *Package, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.CallExpr: // []byte("") or []byte(nil)
+		if len(e.Args) != 1 {
+			return false
+		}
+		if tv, found := pkg.Info.Types[e.Fun]; !found || !tv.IsType() {
+			return false
+		}
+		if lit, ok := e.Args[0].(*ast.BasicLit); ok {
+			return lit.Value == `""` || lit.Value == "``"
+		}
+		if id, ok := e.Args[0].(*ast.Ident); ok {
+			return id.Name == "nil"
+		}
+	}
+	return false
+}
+
+// calleeName returns the bare name of a call's callee: f(...) -> "f",
+// pkg.F(...) or recv.F(...) -> "F".
+func calleeName(c *ast.CallExpr) string {
+	switch fun := c.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return calleeName(e) + "(...)"
+	}
+	return fmt.Sprintf("%T", e)
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// determinism enforces that trusted (in-enclave) packages never read
+// nondeterministic inputs. Enclave step functions must replay identically
+// after an AEX/ERESUME cycle and across checkpoint/restore, so reading the
+// wall clock, PRNG state or runtime introspection inside the trust boundary
+// would fork the replayed execution from the checkpointed one (the exact
+// state-consistency hazard of Fig. 3). Scheduling-only calls (time.Sleep,
+// runtime.Gosched) stay legal: they affect when code runs, not what it
+// computes. Host-side test files are exempt.
+type determinism struct {
+	cfg *Config
+}
+
+func (*determinism) Name() string { return "determinism" }
+
+func (*determinism) Doc() string {
+	return "trusted packages may not read wall clock, math/rand or runtime introspection"
+}
+
+// forbiddenCalls maps package path -> function names that read
+// nondeterministic state.
+var forbiddenCalls = map[string]map[string]bool{
+	"time":    {"Now": true, "Since": true, "Until": true},
+	"runtime": {"NumGoroutine": true, "NumCPU": true, "Caller": true, "Callers": true, "Stack": true, "ReadMemStats": true},
+	"os":      {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+var forbiddenImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func (dt *determinism) Check(prog *Program, pkg *Package) []Diagnostic {
+	if !dt.cfg.trusted(pkg.ImportPath) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if pkg.TestFile[f] {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && forbiddenImports[path] {
+				diags = append(diags, Diagnostic{
+					Pos:  prog.Fset.Position(imp.Pos()),
+					Rule: "determinism",
+					Message: fmt.Sprintf("trusted package %s imports %s: enclave step functions must be deterministic for AEX/ERESUME replay",
+						pkg.ImportPath, path),
+				})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if names := forbiddenCalls[pn.Imported().Path()]; names[sel.Sel.Name] {
+				diags = append(diags, Diagnostic{
+					Pos:  prog.Fset.Position(call.Pos()),
+					Rule: "determinism",
+					Message: fmt.Sprintf("trusted package %s calls %s.%s: nondeterministic reads diverge under checkpoint/replay",
+						pkg.ImportPath, pn.Imported().Path(), sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,208 @@
+// Package lint implements sgxlint, a repo-specific static-analysis suite
+// that encodes the paper's security argument as compile-time invariants:
+//
+//   - trustboundary: untrusted packages may not forge hardware-sealed SGX
+//     state (the EPCM ownership checks, mirrored in the type system).
+//   - cryptononce: every AES-GCM Seal call must derive its nonce from an
+//     approved source, and sealing paths must bind non-empty AAD.
+//   - determinism: trusted packages may not read nondeterministic inputs
+//     (wall clock, math/rand, runtime introspection) because enclave step
+//     functions must replay identically across AEX/ERESUME.
+//   - lockdiscipline: fields annotated "// guarded by <mutex>" may only be
+//     accessed by functions that lock that mutex (or are *Locked helpers).
+//
+// The driver is stdlib-only (go/parser + go/types with a recursive source
+// importer) so go.mod stays dependency-free. Individual findings are
+// suppressed with a justified annotation on the offending line or the line
+// above it:
+//
+//	//lint:ignore <rule> <reason>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, formatted as "file:line: rule: message".
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Checker is one self-contained rule.
+type Checker interface {
+	Name() string
+	Doc() string
+	Check(prog *Program, pkg *Package) []Diagnostic
+}
+
+// Config parameterizes the rules so fixtures and future modules can reuse
+// them; DefaultConfig encodes this repository's trust boundary.
+type Config struct {
+	// TrustedPackages are the import paths inside the enclave trust
+	// boundary: they may touch enclave-private state and are held to the
+	// determinism rule.
+	TrustedPackages []string
+	// RestrictedTypes ("importpath.TypeName") are hardware-sealed or
+	// hardware-produced structures that only trusted packages may construct
+	// or mutate field-by-field.
+	RestrictedTypes []string
+	// ApprovedNonceFns are function names whose results are acceptable
+	// AES-GCM nonces.
+	ApprovedNonceFns []string
+}
+
+// DefaultConfig returns the rule configuration for this repository's module
+// path (normally "repro").
+func DefaultConfig(modPath string) *Config {
+	return &Config{
+		TrustedPackages: []string{
+			modPath + "/internal/enclave",
+			modPath + "/internal/sgx",
+			modPath + "/internal/tcb",
+			modPath + "/internal/hwext",
+		},
+		RestrictedTypes: []string{
+			modPath + "/internal/sgx.EvictedPage",
+			modPath + "/internal/sgx.MigratedPage",
+			modPath + "/internal/sgx.MigratedSECS",
+			modPath + "/internal/sgx.SigStruct",
+			modPath + "/internal/sgx.Context",
+		},
+		ApprovedNonceFns: []string{
+			"RandomBytes",
+			"RandomNonce",
+			"counterNonce",
+			"NonceFromCounter",
+		},
+	}
+}
+
+func (c *Config) trusted(importPath string) bool {
+	for _, p := range c.TrustedPackages {
+		if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Checkers returns every rule, configured.
+func Checkers(cfg *Config) []Checker {
+	return []Checker{
+		&trustBoundary{cfg: cfg},
+		&cryptoNonce{cfg: cfg},
+		&determinism{cfg: cfg},
+		&lockDiscipline{},
+	}
+}
+
+// Run loads the module at root and applies every checker, returning the
+// surviving (unsuppressed) diagnostics sorted by position. A nil cfg means
+// DefaultConfig for the module's own path.
+func Run(root string, cfg *Config) ([]Diagnostic, error) {
+	prog, err := Load(root)
+	if err != nil {
+		return nil, err
+	}
+	if cfg == nil {
+		cfg = DefaultConfig(prog.ModulePath)
+	}
+	return RunProgram(prog, Checkers(cfg)), nil
+}
+
+// RunProgram applies checkers to an already loaded program.
+func RunProgram(prog *Program, checkers []Checker) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		ign := collectIgnores(prog.Fset, pkg)
+		diags = append(diags, ign.malformed...)
+		for _, c := range checkers {
+			for _, d := range c.Check(prog, pkg) {
+				if !ign.suppresses(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// ignoreRe matches "//lint:ignore <rule> <reason>"; the reason is mandatory
+// so every suppression carries its justification in the source.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
+
+type ignoreIndex struct {
+	// byLine maps "filename:line" to the rules ignored at that line.
+	byLine    map[string][]string
+	malformed []Diagnostic
+}
+
+func collectIgnores(fset *token.FileSet, pkg *Package) *ignoreIndex {
+	ign := &ignoreIndex{byLine: make(map[string][]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					ign.malformed = append(ign.malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    "ignore",
+						Message: fmt.Sprintf("lint:ignore %s is missing its justification", m[1]),
+					})
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				ign.byLine[key] = append(ign.byLine[key], m[1])
+			}
+		}
+	}
+	return ign
+}
+
+// suppresses reports whether an ignore directive on the diagnostic's line,
+// or on the line directly above it, names the diagnostic's rule.
+func (ign *ignoreIndex) suppresses(d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, rule := range ign.byLine[fmt.Sprintf("%s:%d", d.Pos.Filename, line)] {
+			if rule == d.Rule || rule == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcEnclosing walks decls to find the FuncDecl containing pos.
+func funcEnclosing(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

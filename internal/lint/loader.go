@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File // non-test files first, then in-package test files
+	TestFile   map[*ast.File]bool
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Program is a fully loaded and type-checked module.
+type Program struct {
+	ModulePath string
+	Root       string
+	Fset       *token.FileSet
+	Packages   []*Package // sorted by import path
+}
+
+// Load parses and type-checks every package under root (a directory
+// containing go.mod). It is a stdlib-only substitute for
+// golang.org/x/tools/go/packages: module-internal imports are resolved by
+// recursively type-checking from source, everything else goes through the
+// go/importer source importer.
+func Load(root string) (*Program, error) {
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks the stdlib from GOROOT sources; cgo
+	// variants of net/os/user are not type-checkable that way, so force the
+	// pure-Go build configuration the rest of the toolchain falls back to.
+	build.Default.CgoEnabled = false
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		root:    root,
+		modPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	prog := &Program{ModulePath: modPath, Root: root, Fset: fset}
+	for _, dir := range dirs {
+		ip := importPathFor(modPath, root, dir)
+		pkg, err := ld.load(ip, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			prog.Packages = append(prog.Packages, pkg)
+		}
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool {
+		return prog.Packages[i].ImportPath < prog.Packages[j].ImportPath
+	})
+	return prog, nil
+}
+
+type loader struct {
+	root    string
+	modPath string
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Import implements types.Importer, routing module-internal paths to the
+// recursive source loader and everything else to the stdlib importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		dir := filepath.Join(ld.root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, ld.modPath), "/")))
+		pkg, err := ld.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(importPath, dir string) (*Package, error) {
+	if pkg, ok := ld.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if ld.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	ld.loading[importPath] = true
+	defer func() { ld.loading[importPath] = false }()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var srcNames, testNames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testNames = append(testNames, name)
+		} else {
+			srcNames = append(srcNames, name)
+		}
+	}
+	if len(srcNames) == 0 {
+		return nil, nil
+	}
+	sort.Strings(srcNames)
+	sort.Strings(testNames)
+
+	pkg := &Package{ImportPath: importPath, Dir: dir, TestFile: make(map[*ast.File]bool)}
+	var pkgName string
+	parse := func(name string, test bool) error {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		fileName := f.Name.Name
+		if test && fileName == pkgName+"_test" {
+			// External test packages would need a second type-check pass
+			// against the exported API; nothing in this module uses them,
+			// so they are simply skipped.
+			return nil
+		}
+		if pkgName == "" {
+			pkgName = fileName
+		} else if fileName != pkgName {
+			return fmt.Errorf("lint: %s: package %s conflicts with %s", filepath.Join(dir, name), fileName, pkgName)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.TestFile[f] = test
+		return nil
+	}
+	for _, name := range srcNames {
+		if err := parse(name, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range testNames {
+		if err := parse(name, true); err != nil {
+			return nil, err
+		}
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(importPath, ld.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+	ld.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// packageDirs returns every directory under root containing Go source,
+// skipping testdata trees, hidden directories and nested modules.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		matches, err := filepath.Glob(filepath.Join(path, "*.go"))
+		if err != nil {
+			return err
+		}
+		if len(matches) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func importPathFor(modPath, root, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+func readModulePath(goMod string) (string, error) {
+	data, err := os.ReadFile(goMod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (run from a module root)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "module ") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", goMod)
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// lockDiscipline enforces "// guarded by <mutex>" field annotations: any
+// function that reads or writes an annotated field must lock the named
+// mutex on some path, or declare that its caller holds it by carrying the
+// repo's "...Locked" name suffix. This is the analysis the race detector
+// cannot do — it only sees interleavings that actually happen in tests,
+// while the annotation states the invariant for every interleaving.
+type lockDiscipline struct{}
+
+func (*lockDiscipline) Name() string { return "lockdiscipline" }
+
+func (*lockDiscipline) Doc() string {
+	return `fields annotated "// guarded by <mutex>" may only be accessed under that mutex (or from *Locked helpers)`
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func (ld *lockDiscipline) Check(prog *Program, pkg *Package) []Diagnostic {
+	guarded := collectGuardedFields(pkg)
+	if len(guarded) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			locked := lockedMutexes(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+				if !ok {
+					return true
+				}
+				mutex, isGuarded := guarded[obj]
+				if !isGuarded || locked[mutex] {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  prog.Fset.Position(sel.Sel.Pos()),
+					Rule: "lockdiscipline",
+					Message: fmt.Sprintf("field %s is guarded by %s, but %s neither locks %s nor is named *Locked",
+						sel.Sel.Name, mutex, fd.Name.Name, mutex),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// collectGuardedFields maps each struct field object annotated
+// "// guarded by <name>" (line comment or doc comment) to its mutex name.
+func collectGuardedFields(pkg *Package) map[*types.Var]string {
+	guarded := make(map[*types.Var]string)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex := ""
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+						mutex = m[1]
+					}
+				}
+				if mutex == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guarded[obj] = mutex
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// lockedMutexes returns the set of mutex names locked anywhere in body:
+// a call x.mu.Lock(), mu.Lock(), x.mu.RLock() etc. contributes "mu".
+func lockedMutexes(body *ast.BlockStmt) map[string]bool {
+	locked := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := sel.X.(type) {
+		case *ast.Ident:
+			locked[recv.Name] = true
+		case *ast.SelectorExpr:
+			locked[recv.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}

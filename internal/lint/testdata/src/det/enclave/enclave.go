@@ -1,0 +1,26 @@
+// Package enclave is the trusted fixture package for the determinism rule.
+package enclave
+
+import (
+	"math/rand"
+	"time"
+)
+
+var epoch = time.Unix(0, 0)
+
+// Step reads two nondeterministic inputs: the wall clock and the PRNG.
+func Step() int64 {
+	t := time.Now().UnixNano()
+	return t + rand.Int63()
+}
+
+// Yield only schedules; it reads nothing nondeterministic.
+func Yield() {
+	time.Sleep(time.Microsecond)
+}
+
+// Telemetry shows a justified suppression.
+func Telemetry() int64 {
+	//lint:ignore determinism host-facing debug counter, never folded into replayed enclave state
+	return time.Since(epoch).Nanoseconds()
+}

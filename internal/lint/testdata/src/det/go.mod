@@ -1,0 +1,3 @@
+module fxdet
+
+go 1.22

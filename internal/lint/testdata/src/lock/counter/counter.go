@@ -1,0 +1,53 @@
+// Package counter exercises the lockdiscipline rule.
+package counter
+
+import "sync"
+
+// Counter is a mutex-protected counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// New constructs via composite literal, which needs no lock.
+func New() *Counter {
+	return &Counter{n: 0}
+}
+
+// Inc locks the guarding mutex before touching n.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// incLocked declares via its suffix that the caller holds mu.
+func (c *Counter) incLocked() {
+	c.n++
+}
+
+// IncTwice is a legitimate caller of the *Locked helper.
+func (c *Counter) IncTwice() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incLocked()
+	c.incLocked()
+}
+
+// Racy reads n without the lock: the rule's positive case.
+func (c *Counter) Racy() int {
+	return c.n
+}
+
+// Suppressed shows a justified suppression.
+func (c *Counter) Suppressed() int {
+	//lint:ignore lockdiscipline approximate read used only in a log line
+	return c.n
+}
+
+// BadIgnore carries a suppression with no justification, which is itself
+// a finding (and does not suppress).
+func (c *Counter) BadIgnore() int {
+	//lint:ignore lockdiscipline
+	return c.n
+}

@@ -1,0 +1,3 @@
+module fxlock
+
+go 1.22

@@ -1,0 +1,3 @@
+module fxnonce
+
+go 1.22

@@ -1,0 +1,3 @@
+module fxtrust
+
+go 1.22

@@ -1,0 +1,14 @@
+// Package sgx is the trusted fixture package: a stand-in for the hardware
+// model that is allowed to mint sealed structures.
+package sgx
+
+// EvictedPage stands in for the hardware-sealed EWB output.
+type EvictedPage struct {
+	Version uint64
+	Cipher  []byte
+}
+
+// MintEvicted is the legitimate (trusted) constructor.
+func MintEvicted() *EvictedPage {
+	return &EvictedPage{Version: 1, Cipher: []byte{0xEE}}
+}

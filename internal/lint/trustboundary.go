@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// trustBoundary mirrors the EPCM ownership checks in the type system: SGX
+// hardware is the only party that can mint sealed page blobs (EWB/ESWPOUT
+// output), SSA frames or SIGSTRUCTs, so packages outside the trust boundary
+// may not construct those structures with composite literals or mutate
+// their fields. Untrusted code may still hold and forward them opaquely —
+// exactly what a host OS does with encrypted EPC pages.
+type trustBoundary struct {
+	cfg *Config
+}
+
+func (*trustBoundary) Name() string { return "trustboundary" }
+
+func (*trustBoundary) Doc() string {
+	return "untrusted packages may not construct or mutate enclave-private SGX structures"
+}
+
+func (tb *trustBoundary) Check(prog *Program, pkg *Package) []Diagnostic {
+	if tb.cfg.trusted(pkg.ImportPath) {
+		return nil
+	}
+	restricted := make(map[string]bool, len(tb.cfg.RestrictedTypes))
+	for _, t := range tb.cfg.RestrictedTypes {
+		restricted[t] = true
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if name := restrictedName(pkg.Info.TypeOf(n), restricted); name != "" {
+					diags = append(diags, Diagnostic{
+						Pos:  prog.Fset.Position(n.Pos()),
+						Rule: "trustboundary",
+						Message: fmt.Sprintf("untrusted package %s constructs enclave-private %s (only the SGX hardware model may mint this structure)",
+							pkg.ImportPath, name),
+					})
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if name := restrictedName(pkg.Info.TypeOf(sel.X), restricted); name != "" {
+						diags = append(diags, Diagnostic{
+							Pos:  prog.Fset.Position(sel.Pos()),
+							Rule: "trustboundary",
+							Message: fmt.Sprintf("untrusted package %s writes field %s of enclave-private %s (EPCM would fault this store)",
+								pkg.ImportPath, sel.Sel.Name, name),
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// restrictedName reports the "importpath.Type" key of t if it (or its
+// pointee) is a restricted named type, and "" otherwise.
+func restrictedName(t types.Type, restricted map[string]bool) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if restricted[key] {
+		return key
+	}
+	return ""
+}

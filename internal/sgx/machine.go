@@ -156,15 +156,15 @@ type Machine struct {
 	rootKey tcb.Key // never leaves this package
 	attest  *tcb.SigningIdentity
 
-	frames   []frame
-	enclaves map[EnclaveID]*enclaveControl
-	nextEID  EnclaveID
-	nextVer  uint64 // EWB version counter
+	frames   []frame                       // guarded by mu
+	enclaves map[EnclaveID]*enclaveControl // guarded by mu
+	nextEID  EnclaveID                     // guarded by mu
+	nextVer  uint64                        // EWB version counter; guarded by mu
 	quantum  int
 
 	migExtension   bool
-	migKey         tcb.Key // installed by EPUTKEY (hwext), zero otherwise
-	migKeySet      bool
+	migKey         tcb.Key  // installed by EPUTKEY (hwext), zero otherwise; guarded by mu
+	migKeySet      bool     // guarded by mu
 	ctrlEnclave    [32]byte // measurement allowed to execute EPUTKEY
 	ctrlEnclaveSet bool
 
@@ -209,6 +209,8 @@ func NewMachine(cfg Config) (*Machine, error) {
 func (m *Machine) Name() string { return m.name }
 
 // NumFrames returns the number of physical EPC frames.
+//
+//lint:ignore lockdiscipline the frames slice header is immutable after NewMachine; only its elements need mu
 func (m *Machine) NumFrames() int { return len(m.frames) }
 
 // FrameFree reports whether an EPC frame is unused.
@@ -339,7 +341,7 @@ func (m *Machine) ECREATE(f FrameIndex, prog Program, sizePages int, nssa uint32
 func (m *Machine) EADD(f FrameIndex, eid EnclaveID, lin PageNum, perm Perm, content *Page) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	e, err := m.addCommon(f, eid, lin)
+	e, err := m.addCommonLocked(f, eid, lin)
 	if err != nil {
 		return err
 	}
@@ -366,7 +368,7 @@ func (m *Machine) EADD(f FrameIndex, eid EnclaveID, lin PageNum, perm Perm, cont
 func (m *Machine) EADDTCS(f FrameIndex, eid EnclaveID, lin PageNum, params TCSParams) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	e, err := m.addCommon(f, eid, lin)
+	e, err := m.addCommonLocked(f, eid, lin)
 	if err != nil {
 		return err
 	}
@@ -389,7 +391,7 @@ func (m *Machine) EADDTCS(f FrameIndex, eid EnclaveID, lin PageNum, params TCSPa
 	return nil
 }
 
-func (m *Machine) addCommon(f FrameIndex, eid EnclaveID, lin PageNum) (*enclaveControl, error) {
+func (m *Machine) addCommonLocked(f FrameIndex, eid EnclaveID, lin PageNum) (*enclaveControl, error) {
 	e, ok := m.enclaves[eid]
 	if !ok {
 		return nil, ErrNoSuchEnclave

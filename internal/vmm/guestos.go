@@ -61,10 +61,10 @@ type OS struct {
 	vcpus chan struct{}
 
 	mu        sync.Mutex
-	procs     []*Process
-	plain     []*PlainProcess
-	allocOff  uint64
-	migrating bool
+	procs     []*Process      // guarded by mu
+	plain     []*PlainProcess // guarded by mu
+	allocOff  uint64          // guarded by mu
+	migrating bool            // guarded by mu
 }
 
 // NewOS boots a guest OS.

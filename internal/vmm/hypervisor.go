@@ -26,10 +26,10 @@ type Hypervisor struct {
 	disp *epcman.Dispatcher
 
 	mu     sync.Mutex
-	next   int
-	handed map[sgx.FrameIndex]string
-	quota  map[string]int
-	used   map[string]int
+	next   int                       // guarded by mu
+	handed map[sgx.FrameIndex]string // guarded by mu
+	quota  map[string]int            // guarded by mu
+	used   map[string]int            // guarded by mu
 }
 
 // NewHypervisor boots the hypervisor on a machine, installing the

@@ -63,7 +63,7 @@ type LiveMigrationStats struct {
 type link struct {
 	mu    sync.Mutex
 	bps   float64
-	bytes int64
+	bytes int64 // guarded by mu
 }
 
 func (l *link) transfer(n int64) {

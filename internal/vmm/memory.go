@@ -20,9 +20,9 @@ const PageSize = 4096
 // the substrate of iterative pre-copy migration.
 type GuestMemory struct {
 	mu    sync.RWMutex
-	data  []byte
+	data  []byte // guarded by mu
 	pages int
-	dirty []bool
+	dirty []bool // guarded by mu
 }
 
 // NewGuestMemory allocates guest memory of the given page count.
@@ -129,6 +129,8 @@ var _ sgx.OutsideMemory = (*Region)(nil)
 
 // Region returns a window [base, base+size).
 func (g *GuestMemory) Region(base, size uint64) (*Region, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	if base+size > uint64(len(g.data)) {
 		return nil, fmt.Errorf("vmm: region out of range")
 	}

@@ -20,7 +20,7 @@ type Node struct {
 	Service  *attest.Service
 
 	mu  sync.Mutex
-	vms map[string]*VM
+	vms map[string]*VM // guarded by mu
 }
 
 // NodeConfig sizes a node.
