@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint test race bench
+.PHONY: check build fmt vet lint lint-fixtures test race bench
 
 check: build fmt vet lint test race
 
@@ -21,6 +21,10 @@ vet:
 
 lint:
 	$(GO) run ./cmd/sgxlint ./...
+
+# Just the sgxlint fixture tests — the fast loop when developing a rule.
+lint-fixtures:
+	$(GO) test ./internal/lint/ -run Fixture -v
 
 test:
 	$(GO) test ./...

@@ -6,10 +6,12 @@
 // Usage:
 //
 //	go run ./cmd/sgxlint ./...
+//	go run ./cmd/sgxlint -json ./...
 //	go run ./cmd/sgxlint -rules
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 func main() {
 	root := flag.String("root", "", "module root to lint (default: nearest go.mod above the working directory)")
 	rules := flag.Bool("rules", false, "list the rules and exit")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array (same exit code); CI archives this")
 	flag.Parse()
 
 	if *rules {
@@ -44,11 +47,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sgxlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		if rel, err := filepath.Rel(dir, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+	for i := range diags {
+		if rel, err := filepath.Rel(dir, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Println(d)
+	}
+	if *jsonOut {
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "sgxlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "sgxlint: %d finding(s)\n", len(diags))

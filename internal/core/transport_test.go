@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// TestMessageRoundTrip pins the gob wire format of Message: every field of
+// every message kind survives an encode/decode cycle.
+func TestMessageRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Kind: MsgImage, Name: "counter", Blob: []byte{0x01, 0x02, 0x03}},
+		{Kind: MsgHello, Blob: []byte("quote||dhpub||nonce")},
+		{Kind: MsgChannel, Blob: bytes.Repeat([]byte{0xA5}, 4096)},
+		{Kind: MsgChannelOK},
+		{Kind: MsgCheckpoint, Name: "counter", Blob: make([]byte, 1<<16)},
+		{Kind: MsgKey, Blob: []byte{}},
+		{Kind: MsgDone},
+		{Kind: MsgAbort, Name: "cancelled"},
+	}
+	for _, in := range msgs {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+			t.Fatalf("encode kind %d: %v", in.Kind, err)
+		}
+		var out Message
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode kind %d: %v", in.Kind, err)
+		}
+		if out.Kind != in.Kind || out.Name != in.Name || !bytes.Equal(out.Blob, in.Blob) {
+			t.Errorf("round trip changed message: %+v != %+v", out, in)
+		}
+	}
+}
+
+// TestMessageTruncatedFrame ensures a partial Message frame is rejected by
+// the decoder instead of silently yielding a zero message.
+func TestMessageTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	in := Message{Kind: MsgCheckpoint, Name: "app", Blob: bytes.Repeat([]byte{1}, 1024)}
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, len(full) / 2, len(full) - 1} {
+		var out Message
+		if err := gob.NewDecoder(bytes.NewReader(full[:cut])).Decode(&out); err == nil {
+			t.Errorf("truncated frame of %d/%d bytes decoded to %+v, want error", cut, len(full), out)
+		}
+	}
+}

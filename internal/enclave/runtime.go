@@ -128,9 +128,11 @@ func NewConstrainedHost(m *sgx.Machine, frames int) *Host {
 }
 
 type workerState struct {
-	mu        sync.Mutex
+	mu sync.Mutex
+	// lp is immutable after construction; Interrupt is internally
+	// synchronized, so the pause/migrate paths may kick it lock-free.
 	lp        *sgx.LP
-	inHandler bool
+	inHandler bool // guarded by mu
 }
 
 // Runtime is the untrusted "SGX library" hosting one enclave: it built the
@@ -146,7 +148,7 @@ type Runtime struct {
 	shared      sgx.OutsideMemory
 
 	ctlMu sync.Mutex
-	ctlLP *sgx.LP
+	ctlLP *sgx.LP // guarded by ctlMu
 
 	workers []*workerState
 
@@ -192,6 +194,7 @@ func BuildSigned(host *Host, app *App, ss sgx.SigStruct, opts ...BuildOption) (*
 		app:         app,
 		layout:      layout,
 		eid:         eid,
+		ctlLP:       m.NewLP(),
 		extraFrames: []sgx.FrameIndex{secs},
 	}
 	host.Disp.Register(eid, host.Mgr)
@@ -236,7 +239,6 @@ func BuildSigned(host *Host, app *App, ss sgx.SigStruct, opts ...BuildOption) (*
 	} else {
 		rt.shared = NewSharedRegion(SharedSizeFor(layout))
 	}
-	rt.ctlLP = m.NewLP()
 	rt.workers = make([]*workerState, app.Workers)
 	for i := range rt.workers {
 		rt.workers[i] = &workerState{lp: m.NewLP()}
@@ -457,7 +459,7 @@ func (rt *Runtime) ECall(worker int, sel uint64, args ...uint64) ([sgx.NumRegs]u
 	tcsLin := rt.layout.TCSPage(worker + 1)
 	enterArgs := append([]uint64{sel}, args...)
 	res, err := rt.m.EENTER(ws.lp, rt.eid, tcsLin, enterArgs, rt.shared)
-	return rt.drive(ws, tcsLin, res, err)
+	return rt.driveLocked(ws, tcsLin, res, err)
 }
 
 // ResumeWorker re-attaches a migrated worker on the target machine: it
@@ -478,7 +480,7 @@ func (rt *Runtime) ResumeWorker(worker int) ([sgx.NumRegs]uint64, error) {
 	tcsLin := rt.layout.TCSPage(worker + 1)
 	ws.inHandler = true
 	res, err := rt.m.EENTER(ws.lp, rt.eid, tcsLin, []uint64{SelHandler}, rt.shared)
-	return rt.drive(ws, tcsLin, res, err)
+	return rt.driveLocked(ws, tcsLin, res, err)
 }
 
 // ResumeInterruptedWorker ERESUMEs a worker whose context sits in its SSA
@@ -496,7 +498,7 @@ func (rt *Runtime) ResumeInterruptedWorker(worker int) ([sgx.NumRegs]uint64, err
 	defer ws.mu.Unlock()
 	tcsLin := rt.layout.TCSPage(worker + 1)
 	res, err := rt.m.ERESUME(ws.lp, rt.eid, tcsLin, rt.shared)
-	return rt.drive(ws, tcsLin, res, err)
+	return rt.driveLocked(ws, tcsLin, res, err)
 }
 
 // ProgramFor returns the measured SDK program for an app; the
@@ -532,8 +534,9 @@ func Adopt(host *Host, app *App, eid sgx.EnclaveID, measurement [32]byte) (*Runt
 	return rt, nil
 }
 
-// drive is the AEP/dispatch loop shared by ECall and ResumeWorker.
-func (rt *Runtime) drive(ws *workerState, tcsLin sgx.PageNum, res sgx.EnterResult, err error) ([sgx.NumRegs]uint64, error) {
+// driveLocked is the AEP/dispatch loop shared by ECall and ResumeWorker;
+// the caller holds ws.mu.
+func (rt *Runtime) driveLocked(ws *workerState, tcsLin sgx.PageNum, res sgx.EnterResult, err error) ([sgx.NumRegs]uint64, error) {
 	var zero [sgx.NumRegs]uint64
 	for {
 		if err != nil {
@@ -571,7 +574,7 @@ func (rt *Runtime) drive(ws *workerState, tcsLin sgx.PageNum, res sgx.EnterResul
 				ws.inHandler = false
 				res, err = rt.m.ERESUME(ws.lp, rt.eid, tcsLin, rt.shared)
 			case codeOCall:
-				res, err = rt.dispatchOCall(ws, tcsLin, res.Regs)
+				res, err = rt.dispatchOCallLocked(ws, tcsLin, res.Regs)
 			case codeDead:
 				ws.inHandler = false
 				rt.dead.Store(true)
@@ -589,7 +592,7 @@ func (rt *Runtime) drive(ws *workerState, tcsLin sgx.PageNum, res sgx.EnterResul
 	}
 }
 
-func (rt *Runtime) dispatchOCall(ws *workerState, tcsLin sgx.PageNum, regs [sgx.NumRegs]uint64) (sgx.EnterResult, error) {
+func (rt *Runtime) dispatchOCallLocked(ws *workerState, tcsLin sgx.PageNum, regs [sgx.NumRegs]uint64) (sgx.EnterResult, error) {
 	var r0, r1 uint64
 	if rt.app.OCall != nil {
 		out, err := rt.app.OCall(rt, regs[0], regs[1], regs[2])

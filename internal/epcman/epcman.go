@@ -45,32 +45,32 @@ type Manager struct {
 	mu sync.Mutex
 
 	m      *sgx.Machine
-	frames []sgx.FrameIndex // all frames this manager owns
-	free   []sgx.FrameIndex
+	frames []sgx.FrameIndex // all frames this manager owns; guarded by mu
+	free   []sgx.FrameIndex // guarded by mu
 
 	// resident is the clock list of evictable pages (REG pages only).
-	resident []residentPage
-	clock    int
+	resident []residentPage // guarded by mu
+	clock    int            // guarded by mu
 
 	// evicted holds EWB blobs in "normal memory".
-	evicted map[pageKey]storedPage
+	evicted map[pageKey]storedPage // guarded by mu
 
 	// vaFrames are VA pages allocated out of the pool for version slots.
-	vaFrames  []sgx.FrameIndex
-	vaBitmaps [][]bool
+	vaFrames  []sgx.FrameIndex // guarded by mu
+	vaBitmaps [][]bool         // guarded by mu
 
 	// pinned pages are never chosen as eviction victims (SSA and control
 	// pages on the hot path can still be evicted architecturally, but the
 	// driver avoids it just as the paper's driver avoids thrashing).
-	pinned map[pageKey]bool
+	pinned map[pageKey]bool // guarded by mu
 
 	// source, if set, is asked for additional frames (a hypervisor grant
 	// hypercall) before the manager resorts to evicting; it models the
 	// paper's on-demand guest-EPC mapping (Sec. VI-A).
-	source FrameSource
+	source FrameSource // guarded by mu
 
-	evictions int
-	reloads   int
+	evictions int // guarded by mu
+	reloads   int // guarded by mu
 }
 
 // FrameSource supplies extra EPC frames on demand; it returns an error when
@@ -384,7 +384,7 @@ func (g *Manager) EnsureResident(eid sgx.EnclaveID) error {
 // enclave. Install it once per machine with Machine.SetFaultHandler.
 type Dispatcher struct {
 	mu     sync.RWMutex
-	owners map[sgx.EnclaveID]*Manager
+	owners map[sgx.EnclaveID]*Manager // guarded by mu
 }
 
 // NewDispatcher creates an empty dispatcher and installs it on the machine.

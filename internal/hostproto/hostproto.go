@@ -8,18 +8,23 @@ import (
 	"repro/internal/tcb"
 )
 
+// Op selects one daemon operation. Typing it (rather than using bare
+// strings) lets sgxlint's wireproto rule check that every op is both
+// produced by a client and dispatched by the daemon.
+type Op string
+
 // Ops.
 const (
-	OpLaunch     = "launch"      // Image → ID
-	OpCall       = "call"        // ID, Worker, Selector, Args → Regs
-	OpList       = "list"        // → IDs
-	OpMigrateOut = "migrate-out" // ID, Target → Report
-	OpMigrateIn  = "migrate-in"  // (host-to-host) switches the conn to a migration transport
+	OpLaunch     Op = "launch"      // Image → ID
+	OpCall       Op = "call"        // ID, Worker, Selector, Args → Regs
+	OpList       Op = "list"        // → IDs
+	OpMigrateOut Op = "migrate-out" // ID, Target → Report
+	OpMigrateIn  Op = "migrate-in"  // (host-to-host) switches the conn to a migration transport
 )
 
 // Command is a client request.
 type Command struct {
-	Op       string
+	Op       Op
 	Image    string
 	ID       string
 	Target   string

@@ -1,0 +1,69 @@
+package hostproto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// TestCommandRoundTrip pins the gob wire format of Command: every field
+// (including the typed Op) survives an encode/decode cycle, and a
+// truncated frame is rejected.
+func TestCommandRoundTrip(t *testing.T) {
+	cmds := []Command{
+		{Op: OpLaunch, Image: "counter"},
+		{Op: OpCall, ID: "enclave-7", Worker: 3, Selector: 0xdead, Args: []uint64{1, 2, 3}},
+		{Op: OpList},
+		{Op: OpMigrateOut, ID: "enclave-7", Target: "host-b:7001"},
+		{Op: OpMigrateIn, ID: "enclave-7"},
+	}
+	for _, in := range cmds {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+			t.Fatalf("encode %q: %v", in.Op, err)
+		}
+		full := append([]byte(nil), buf.Bytes()...)
+		var out Command
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode %q: %v", in.Op, err)
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Errorf("round trip changed command: %+v != %+v", out, in)
+		}
+		var trunc Command
+		if err := gob.NewDecoder(bytes.NewReader(full[:len(full)/2])).Decode(&trunc); err == nil {
+			t.Errorf("truncated %q frame decoded to %+v, want error", in.Op, trunc)
+		}
+	}
+}
+
+// TestResponseRoundTrip pins the gob wire format of Response, including a
+// truncated-frame rejection.
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{ID: "enclave-7"},
+		{IDs: []string{"a", "b", "c"}},
+		{Regs: []uint64{0xcafe, 0xf00d}},
+		{Report: "quote-json"},
+		{Err: "no enclave \"x\""},
+	}
+	for i, in := range resps {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+			t.Fatalf("encode #%d: %v", i, err)
+		}
+		full := append([]byte(nil), buf.Bytes()...)
+		var out Response
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode #%d: %v", i, err)
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Errorf("round trip changed response: %+v != %+v", out, in)
+		}
+		var trunc Response
+		if err := gob.NewDecoder(bytes.NewReader(full[:len(full)/2])).Decode(&trunc); err == nil {
+			t.Errorf("truncated frame #%d decoded to %+v, want error", i, trunc)
+		}
+	}
+}

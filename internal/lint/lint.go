@@ -10,6 +10,16 @@
 //     functions must replay identically across AEX/ERESUME.
 //   - lockdiscipline: fields annotated "// guarded by <mutex>" may only be
 //     accessed by functions that lock that mutex (or are *Locked helpers).
+//   - plainflow: taint analysis — values returned by approved decrypt
+//     functions are plaintext and must be re-encrypted before they reach an
+//     untrusted sink (transport sends, shared/outside memory, logging,
+//     error construction).
+//   - wireproto: every wire-enum constant must be produced and consumed,
+//     defaultless switches over wire enums must be exhaustive, and every
+//     wire struct needs a codec round-trip test.
+//   - lockorder: observed mutex nesting (plus call summaries) must form an
+//     acyclic acquisition order, and every "guarded by" annotation must
+//     name a real sibling mutex.
 //
 // The driver is stdlib-only (go/parser + go/types with a recursive source
 // importer) so go.mod stays dependency-free. Individual findings are
@@ -60,6 +70,41 @@ type Config struct {
 	// ApprovedNonceFns are function names whose results are acceptable
 	// AES-GCM nonces.
 	ApprovedNonceFns []string
+
+	// TaintSources are function identities (types.Func.FullName form, e.g.
+	// "repro/internal/tcb.Open" or "(crypto/cipher.AEAD).Open") whose
+	// non-error results carry decrypted plaintext.
+	TaintSources []string
+	// TaintSinks are function identities whose arguments leave the trust
+	// boundary (transport sends, outside-memory stores, log output, error
+	// strings). Tainted values must not reach them.
+	TaintSinks []string
+	// TaintSanitizers are function identities that re-protect plaintext
+	// (seal/encrypt/hash); their results are clean regardless of inputs.
+	TaintSanitizers []string
+
+	// WireEnums are named constant types ("importpath.TypeName") that label
+	// protocol messages. Every constant of such a type must be both
+	// produced (built into a message) and consumed (matched on receive),
+	// and switches over the type without a default must be exhaustive.
+	WireEnums []string
+	// WireRecvFns are function names (simple names, like ApprovedNonceFns)
+	// whose wire-enum arguments count as consumed — the "expected kind"
+	// helpers such as recvKind.
+	WireRecvFns []string
+	// WireStructs are protocol structs that must each have a codec
+	// round-trip test: some in-package Test/Fuzz function that mentions the
+	// type and calls both codec functions.
+	WireStructs []WireStruct
+}
+
+// WireStruct names one wire-format struct and its codec functions for the
+// wireproto round-trip-test requirement. Type is "importpath.TypeName";
+// Encode and Decode are function identities in types.Func.FullName form.
+type WireStruct struct {
+	Type   string
+	Encode string
+	Decode string
 }
 
 // DefaultConfig returns the rule configuration for this repository's module
@@ -85,6 +130,76 @@ func DefaultConfig(modPath string) *Config {
 			"counterNonce",
 			"NonceFromCounter",
 		},
+		TaintSources: []string{
+			modPath + "/internal/tcb.Open",
+			modPath + "/internal/tcb.OpenDeterministic",
+			modPath + "/internal/tcb.DecryptCheckpoint",
+			"(crypto/cipher.AEAD).Open",
+		},
+		TaintSinks: []string{
+			"(" + modPath + "/internal/core.Transport).Send",
+			"(*" + modPath + "/internal/sgx.Env).OutsideStore",
+			"(*" + modPath + "/internal/enclave.Call).OutsideStore",
+			"(" + modPath + "/internal/sgx.OutsideMemory).Store",
+			"(*" + modPath + "/internal/enclave.Runtime).WriteShared",
+			"log.Print", "log.Printf", "log.Println",
+			"log.Fatal", "log.Fatalf", "log.Fatalln",
+			"fmt.Print", "fmt.Printf", "fmt.Println",
+			"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln",
+			"fmt.Errorf", "errors.New",
+		},
+		TaintSanitizers: []string{
+			modPath + "/internal/tcb.Seal",
+			modPath + "/internal/tcb.SealDeterministic",
+			modPath + "/internal/tcb.EncryptCheckpoint",
+			"(crypto/cipher.AEAD).Seal",
+			modPath + "/internal/tcb.Hash",
+			modPath + "/internal/tcb.HashConcat",
+			modPath + "/internal/tcb.MAC",
+			modPath + "/internal/tcb.DeriveKey",
+		},
+		WireEnums: []string{
+			modPath + "/internal/core.MsgKind",
+			modPath + "/internal/hostproto.Op",
+		},
+		WireRecvFns: []string{"recvKind"},
+		WireStructs: []WireStruct{
+			{
+				Type:   modPath + "/internal/core.Message",
+				Encode: "(*encoding/gob.Encoder).Encode",
+				Decode: "(*encoding/gob.Decoder).Decode",
+			},
+			{
+				Type:   modPath + "/internal/hostproto.Command",
+				Encode: "(*encoding/gob.Encoder).Encode",
+				Decode: "(*encoding/gob.Decoder).Decode",
+			},
+			{
+				Type:   modPath + "/internal/hostproto.Response",
+				Encode: "(*encoding/gob.Encoder).Encode",
+				Decode: "(*encoding/gob.Decoder).Decode",
+			},
+			{
+				Type:   modPath + "/internal/sgx.Report",
+				Encode: modPath + "/internal/enclave.MarshalReport",
+				Decode: modPath + "/internal/enclave.UnmarshalReport",
+			},
+			{
+				Type:   modPath + "/internal/sgx.Quote",
+				Encode: modPath + "/internal/enclave.MarshalQuote",
+				Decode: modPath + "/internal/enclave.UnmarshalQuote",
+			},
+			{
+				Type:   modPath + "/internal/attest.Verdict",
+				Encode: modPath + "/internal/enclave.MarshalVerdict",
+				Decode: modPath + "/internal/enclave.UnmarshalVerdict",
+			},
+			{
+				Type:   modPath + "/internal/enclave.CheckpointHeader",
+				Encode: modPath + "/internal/enclave.MarshalHeader",
+				Decode: modPath + "/internal/enclave.UnmarshalHeader",
+			},
+		},
 	}
 }
 
@@ -104,6 +219,9 @@ func Checkers(cfg *Config) []Checker {
 		&cryptoNonce{cfg: cfg},
 		&determinism{cfg: cfg},
 		&lockDiscipline{},
+		&plainFlow{cfg: cfg},
+		&wireProto{cfg: cfg},
+		&lockOrder{},
 	}
 }
 

@@ -78,6 +78,57 @@ func TestLockDisciplineFixture(t *testing.T) {
 	}
 }
 
+func TestPlainFlowFixture(t *testing.T) {
+	got := runFixture(t, "taint", &Config{
+		TaintSources:    []string{"fxtaint/crypt.Decrypt"},
+		TaintSinks:      []string{"fxtaint/crypt.SendOut", "log.Printf"},
+		TaintSanitizers: []string{"fxtaint/crypt.Encrypt"},
+	})
+	want := []string{
+		"flow.go:13: plainflow", // LeakDirect: straight to the sink
+		"flow.go:20: plainflow", // LeakVia: through append and slicing
+		"flow.go:26: plainflow", // LeakLog: through log.Printf
+		"flow.go:36: plainflow", // LeakWrapped: through the relay wrapper
+		"flow.go:47: plainflow", // LeakReturned: summary-tainted result
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestWireProtoFixture(t *testing.T) {
+	got := runFixture(t, "wire", &Config{
+		WireEnums:   []string{"fxwire/proto.Kind"},
+		WireRecvFns: []string{"recvKind"},
+		WireStructs: []WireStruct{
+			{Type: "fxwire/proto.Frame", Encode: "fxwire/proto.Marshal", Decode: "fxwire/proto.Unmarshal"},
+			{Type: "fxwire/proto.Orphan", Encode: "fxwire/proto.MarshalOrphan", Decode: "fxwire/proto.UnmarshalOrphan"},
+		},
+	})
+	want := []string{
+		"proto.go:15: wireproto", // KindData is never consumed
+		"proto.go:16: wireproto", // KindAck is never produced
+		"proto.go:27: wireproto", // Orphan has no round-trip test
+		"proto.go:97: wireproto", // Dispatch misses KindData, KindBye
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	got := runFixture(t, "lockord", &Config{})
+	want := []string{
+		"locks.go:11: lockorder", // m's annotation names no sibling mutex
+		"locks.go:18: lockorder", // AB acquires b after a ...
+		"locks.go:27: lockorder", // ... while BA acquires a after b
+		"locks.go:41: lockorder", // Add re-enters mu through bump
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
 // TestRepoIsClean is the self-test the CI gate relies on: the default rule
 // set over this repository must report nothing.
 func TestRepoIsClean(t *testing.T) {

@@ -102,7 +102,9 @@ func collectGuardedFields(pkg *Package) map[*types.Var]string {
 }
 
 // lockedMutexes returns the set of mutex names locked anywhere in body:
-// a call x.mu.Lock(), mu.Lock(), x.mu.RLock() etc. contributes "mu".
+// a call x.mu.Lock(), mu.Lock(), x.mu.RLock(), ws.mu.TryLock() etc.
+// contributes "mu" (a TryLock acquisition guards the accesses on its
+// success path, which is the only path the repo's callers take).
 func lockedMutexes(body *ast.BlockStmt) map[string]bool {
 	locked := make(map[string]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -111,7 +113,12 @@ func lockedMutexes(body *ast.BlockStmt) map[string]bool {
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+		default:
 			return true
 		}
 		switch recv := sel.X.(type) {

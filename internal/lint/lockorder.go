@@ -1,0 +1,531 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockOrder builds a module-wide lock-acquisition graph and reports cycles
+// (potential deadlocks). Nodes are mutex variables (struct fields or
+// package/local vars of type sync.Mutex / sync.RWMutex, possibly behind a
+// pointer); an edge A→B is recorded whenever B is acquired — directly, or
+// anywhere inside a statically resolved callee — while A is held.
+//
+// The per-function walk follows source order with branch awareness:
+// Lock/RLock/TryLock/TryRLock push a lock, Unlock/RUnlock pop it, a
+// deferred unlock holds to the end of the function. If/else arms and
+// switch/select cases each start from the statement's entry held set, and
+// a lock counts as held afterwards only when every arm holds it — so
+// "if write { mu.Lock() } else { mu.RLock() }" is one acquisition, not a
+// nested pair. Function literals are analyzed as separate functions with
+// an empty held set (they usually run on other goroutines); calls through
+// function values and interface methods contribute nothing — both
+// documented limits. Two locks acquired in both orders, or a lock
+// re-acquired while already held (directly or via a callee), are reported
+// at the offending acquisition site.
+//
+// The checker also validates the "// guarded by <name>" annotations that
+// lockdiscipline consumes: the named guard must be a sibling field of
+// mutex type, otherwise the annotation silently protects nothing.
+type lockOrder struct {
+	prog  *Program
+	diags map[*Package][]Diagnostic
+}
+
+func (*lockOrder) Name() string { return "lockorder" }
+
+func (*lockOrder) Doc() string {
+	return `mutex acquisition order must be consistent and acyclic across the module; "guarded by" must name a sibling mutex`
+}
+
+func (lo *lockOrder) Check(prog *Program, pkg *Package) []Diagnostic {
+	if lo.prog != prog {
+		lo.prog = prog
+		lo.diags = lo.analyzeModule(prog)
+	}
+	return lo.diags[pkg]
+}
+
+// lockEdge is one observed nesting: to was acquired while from was held.
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Pos
+}
+
+// funcLocks collects the structural facts of one function body.
+type funcLocks struct {
+	// acquires is every lock locked anywhere in the body.
+	acquires map[*types.Var]bool
+	// edges are direct nestings observed in the body.
+	edges []lockEdge
+	// calls are statically resolved callees with the held set at the call.
+	calls []heldCall
+	// callees is every statically resolved callee (for transitive
+	// acquisition summaries).
+	callees []*types.Func
+}
+
+type heldCall struct {
+	held   []*types.Var
+	callee *types.Func
+	pos    token.Pos
+}
+
+func (lo *lockOrder) analyzeModule(prog *Program) map[*Package][]Diagnostic {
+	diags := make(map[*Package][]Diagnostic)
+	fileOwner := make(map[string]*Package)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			fileOwner[prog.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	emit := func(pos token.Pos, msg string) {
+		p := prog.Fset.Position(pos)
+		pkg := fileOwner[p.Filename]
+		if pkg == nil {
+			return
+		}
+		diags[pkg] = append(diags[pkg], Diagnostic{Pos: p, Rule: "lockorder", Message: msg})
+	}
+
+	lockNames := collectLockNames(prog)
+	lo.checkGuardAnnotations(prog, emit)
+
+	// Pass 1: structural facts per function (and per function literal).
+	facts := make(map[*types.Func]*funcLocks)
+	var litFacts []*funcLocks
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			if pkg.TestFile[f] {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				w := &lockWalker{pkg: pkg, facts: &funcLocks{acquires: make(map[*types.Var]bool)}}
+				w.walk(fd.Body)
+				if fn != nil {
+					facts[fn] = w.facts
+				}
+				for i := 0; i < len(w.lits); i++ {
+					lw := &lockWalker{pkg: pkg, facts: &funcLocks{acquires: make(map[*types.Var]bool)}}
+					lw.walk(w.lits[i])
+					litFacts = append(litFacts, lw.facts)
+					// Nested literals of literals.
+					w.lits = append(w.lits, lw.lits...)
+				}
+			}
+		}
+	}
+
+	// Pass 2: transitive acquisition summaries to a fixpoint.
+	acquired := make(map[*types.Func]map[*types.Var]bool)
+	for fn, fl := range facts {
+		set := make(map[*types.Var]bool, len(fl.acquires))
+		for v := range fl.acquires {
+			set[v] = true
+		}
+		acquired[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fl := range facts {
+			set := acquired[fn]
+			for _, callee := range fl.callees {
+				for v := range acquired[callee] {
+					if !set[v] {
+						set[v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: edges — direct nestings plus held-across-call acquisitions.
+	var edges []lockEdge
+	addFrom := func(fl *funcLocks) {
+		edges = append(edges, fl.edges...)
+		for _, hc := range fl.calls {
+			for _, h := range hc.held {
+				for v := range acquired[hc.callee] {
+					edges = append(edges, lockEdge{from: h, to: v, pos: hc.pos})
+				}
+			}
+		}
+	}
+	for _, fl := range facts {
+		addFrom(fl)
+	}
+	for _, fl := range litFacts {
+		addFrom(fl)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+
+	// Pass 4: cycle detection. Self-edges are immediate findings; for the
+	// rest, an edge whose endpoints are mutually reachable is part of a
+	// cycle (inconsistent acquisition order).
+	adj := make(map[*types.Var]map[*types.Var]token.Pos)
+	for _, e := range edges {
+		if e.from == e.to {
+			continue
+		}
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[*types.Var]token.Pos)
+		}
+		if _, ok := adj[e.from][e.to]; !ok {
+			adj[e.from][e.to] = e.pos
+		}
+	}
+	name := func(v *types.Var) string {
+		if n, ok := lockNames[v]; ok {
+			return n
+		}
+		return v.Name()
+	}
+	seenSelf := make(map[token.Pos]bool)
+	type pair struct{ a, b *types.Var }
+	seenPair := make(map[pair]bool)
+	for _, e := range edges {
+		if e.from == e.to {
+			if !seenSelf[e.pos] {
+				seenSelf[e.pos] = true
+				emit(e.pos, fmt.Sprintf("lock %s is acquired while already held (self-deadlock)", name(e.from)))
+			}
+			continue
+		}
+		if seenPair[pair{e.from, e.to}] {
+			continue
+		}
+		if backPos, cyclic := reaches(adj, e.to, e.from); cyclic {
+			seenPair[pair{e.from, e.to}] = true
+			emit(e.pos, fmt.Sprintf("acquiring %s while holding %s conflicts with the reverse order at %s (lock-order cycle)",
+				name(e.to), name(e.from), prog.Fset.Position(backPos)))
+		}
+	}
+
+	for _, ds := range diags {
+		sort.Slice(ds, func(i, j int) bool {
+			a, b := ds[i], ds[j]
+			if a.Pos.Filename != b.Pos.Filename {
+				return a.Pos.Filename < b.Pos.Filename
+			}
+			return a.Pos.Line < b.Pos.Line
+		})
+	}
+	return diags
+}
+
+// reaches reports whether from can reach target in adj, returning the
+// position of the first edge on a path.
+func reaches(adj map[*types.Var]map[*types.Var]token.Pos, from, target *types.Var) (token.Pos, bool) {
+	visited := make(map[*types.Var]bool)
+	var dfs func(v *types.Var) (token.Pos, bool)
+	dfs = func(v *types.Var) (token.Pos, bool) {
+		if visited[v] {
+			return token.NoPos, false
+		}
+		visited[v] = true
+		for next, pos := range adj[v] {
+			if next == target {
+				return pos, true
+			}
+			if p, ok := dfs(next); ok {
+				// Report the edge leaving v, not a deeper one, so the
+				// message points at a real acquisition site on the path.
+				_ = p
+				return pos, true
+			}
+		}
+		return token.NoPos, false
+	}
+	return dfs(from)
+}
+
+// lockWalker performs the linear-order walk of one body.
+type lockWalker struct {
+	pkg   *Package
+	facts *funcLocks
+	held  []*types.Var
+	lits  []*ast.BlockStmt
+}
+
+func (w *lockWalker) walk(body *ast.BlockStmt) {
+	w.stmt(body)
+}
+
+func (w *lockWalker) snapshot() []*types.Var {
+	s := make([]*types.Var, len(w.held))
+	copy(s, w.held)
+	return s
+}
+
+// heldIntersect keeps the locks of a that also appear in b (respecting
+// multiplicity), preserving a's order.
+func heldIntersect(a, b []*types.Var) []*types.Var {
+	count := make(map[*types.Var]int)
+	for _, v := range b {
+		count[v]++
+	}
+	var out []*types.Var
+	for _, v := range a {
+		if count[v] > 0 {
+			count[v]--
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// stmt walks one statement with branch awareness: if/else arms each start
+// from the statement's entry held set and the held set afterwards is their
+// intersection, so a mode-dependent Lock-or-RLock is one acquisition, not
+// two nested ones. Switch and select cases likewise start from the entry
+// set and restore it afterwards. Loop bodies are walked once, linearly.
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range x.List {
+			w.stmt(st)
+		}
+	case *ast.IfStmt:
+		w.stmt(x.Init)
+		w.scan(x.Cond)
+		entry := w.snapshot()
+		w.stmt(x.Body)
+		thenHeld := w.held
+		w.held = entry
+		if x.Else != nil {
+			w.held = w.snapshot()
+			w.stmt(x.Else)
+		}
+		w.held = heldIntersect(thenHeld, w.held)
+	case *ast.ForStmt:
+		w.stmt(x.Init)
+		w.scan(x.Cond)
+		w.stmt(x.Body)
+		w.stmt(x.Post)
+	case *ast.RangeStmt:
+		w.scan(x.X)
+		w.stmt(x.Body)
+	case *ast.SwitchStmt:
+		w.stmt(x.Init)
+		w.scan(x.Tag)
+		w.caseClauses(x.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(x.Init)
+		w.stmt(x.Assign)
+		w.caseClauses(x.Body)
+	case *ast.SelectStmt:
+		entry := w.snapshot()
+		for _, c := range x.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			w.stmt(cc.Comm)
+			for _, st := range cc.Body {
+				w.stmt(st)
+			}
+			w.held = append(w.held[:0:0], entry...)
+		}
+		w.held = entry
+	case *ast.LabeledStmt:
+		w.stmt(x.Stmt)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to the end of the
+		// function; skip it so the walk doesn't release early.
+		if v, op := w.mutexOp(x.Call); v != nil && (op == "Unlock" || op == "RUnlock") {
+			return
+		}
+		w.scan(x.Call)
+	default:
+		w.scan(s)
+	}
+}
+
+// caseClauses walks each case of a switch body from the entry held set and
+// restores the entry set afterwards.
+func (w *lockWalker) caseClauses(body *ast.BlockStmt) {
+	entry := w.snapshot()
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.scan(e)
+		}
+		for _, st := range cc.Body {
+			w.stmt(st)
+		}
+		w.held = append(w.held[:0:0], entry...)
+	}
+	w.held = entry
+}
+
+// scan handles the expression-level facts of a node: mutex operations,
+// statically resolved calls, and function-literal collection. Statements
+// cannot nest inside expressions except via function literals, which are
+// analyzed separately, so no branch handling is needed here.
+func (w *lockWalker) scan(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, x.Body)
+			return false
+		case *ast.CallExpr:
+			if v, op := w.mutexOp(x); v != nil {
+				switch op {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					for _, h := range w.held {
+						w.facts.edges = append(w.facts.edges, lockEdge{from: h, to: v, pos: x.Pos()})
+					}
+					w.held = append(w.held, v)
+					w.facts.acquires[v] = true
+				case "Unlock", "RUnlock":
+					for i := len(w.held) - 1; i >= 0; i-- {
+						if w.held[i] == v {
+							w.held = append(w.held[:i], w.held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if fn := calleeFunc(w.pkg, x); fn != nil {
+				w.facts.callees = append(w.facts.callees, fn)
+				if len(w.held) > 0 {
+					held := make([]*types.Var, len(w.held))
+					copy(held, w.held)
+					w.facts.calls = append(w.facts.calls, heldCall{held: held, callee: fn, pos: x.Pos()})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp recognizes m.Lock() / x.mu.RLock() / etc., returning the mutex
+// variable and the method name.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	var id *ast.Ident
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		id = recv
+	case *ast.SelectorExpr:
+		id = recv.Sel
+	default:
+		return nil, ""
+	}
+	obj, ok := w.pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		obj, ok = w.pkg.Info.Defs[id].(*types.Var)
+		if !ok {
+			return nil, ""
+		}
+	}
+	if !isMutexType(obj.Type()) {
+		return nil, ""
+	}
+	return obj, op
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// collectLockNames maps mutex field vars to "Struct.field" display names.
+func collectLockNames(prog *Program) map[*types.Var]string {
+	names := make(map[*types.Var]string)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					for _, fname := range field.Names {
+						if v, ok := pkg.Info.Defs[fname].(*types.Var); ok && isMutexType(v.Type()) {
+							names[v] = ts.Name.Name + "." + fname.Name
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return names
+}
+
+// checkGuardAnnotations verifies every "// guarded by <name>" annotation
+// names a sibling struct field of mutex type.
+func (lo *lockOrder) checkGuardAnnotations(prog *Program, emit func(token.Pos, string)) {
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				mutexFields := make(map[string]bool)
+				for _, field := range st.Fields.List {
+					if tv, ok := pkg.Info.Types[field.Type]; ok && isMutexType(tv.Type) {
+						for _, name := range field.Names {
+							mutexFields[name.Name] = true
+						}
+					}
+				}
+				for _, field := range st.Fields.List {
+					for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+						if cg == nil {
+							continue
+						}
+						m := guardedRe.FindStringSubmatch(cg.Text())
+						if m == nil {
+							continue
+						}
+						if !mutexFields[m[1]] {
+							emit(field.Pos(), fmt.Sprintf("guarded-by annotation names %q, but the struct has no sibling mutex field with that name", m[1]))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}

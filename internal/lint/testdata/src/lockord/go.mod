@@ -1,0 +1,3 @@
+module fxlockord
+
+go 1.22

@@ -1,0 +1,98 @@
+// Package locks exercises the lockorder rule.
+package locks
+
+import "sync"
+
+// Pair holds two mutexes acquired in both orders: the classic deadlock.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int // guarded by a
+	m int // guarded by nosuchmutex
+}
+
+// AB locks a then b.
+func (p *Pair) AB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.n++
+}
+
+// BA locks b then a: the reverse order.
+func (p *Pair) BA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+}
+
+// Counter re-enters its own lock through a helper.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Add locks and calls the helper, which locks again: self-deadlock.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+
+func (c *Counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Hidden is the same re-entry with a justified suppression.
+func (c *Counter) Hidden() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:ignore lockorder fixture demonstrates a justified suppression
+	c.bump()
+}
+
+// Guard acquires its RWMutex in exactly one mode per call; the if/else
+// arms must not be mistaken for a nested acquisition.
+type Guard struct {
+	rw sync.RWMutex
+}
+
+// LockEither is the mode-dependent acquisition: no finding.
+func (g *Guard) LockEither(write bool) {
+	if write {
+		g.rw.Lock()
+	} else {
+		g.rw.RLock()
+	}
+	if write {
+		g.rw.Unlock()
+	} else {
+		g.rw.RUnlock()
+	}
+}
+
+// Chain is a consistent two-lock order: the negative case.
+type Chain struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+// Fine always locks x before y.
+func (ch *Chain) Fine() {
+	ch.x.Lock()
+	ch.y.Lock()
+	ch.y.Unlock()
+	ch.x.Unlock()
+}
+
+// Fine2 locks x before y too — consistent order, no finding.
+func (ch *Chain) Fine2() {
+	ch.x.Lock()
+	defer ch.x.Unlock()
+	ch.y.Lock()
+	defer ch.y.Unlock()
+}

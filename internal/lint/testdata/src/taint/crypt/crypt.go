@@ -1,0 +1,21 @@
+// Package crypt provides the fixture's source, sink and sanitizer.
+package crypt
+
+// Decrypt is the fixture taint source: its first result is plaintext.
+func Decrypt(sealed []byte) ([]byte, error) {
+	out := make([]byte, len(sealed))
+	copy(out, sealed)
+	return out, nil
+}
+
+// Encrypt is the fixture sanitizer: its result is safe anywhere.
+func Encrypt(plain []byte) []byte {
+	out := make([]byte, len(plain))
+	for i, b := range plain {
+		out[i] = b ^ 0xAA
+	}
+	return out
+}
+
+// SendOut is the fixture untrusted sink.
+func SendOut(b []byte) { _ = b }

@@ -1,0 +1,3 @@
+module fxtaint
+
+go 1.22

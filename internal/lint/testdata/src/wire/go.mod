@@ -1,0 +1,3 @@
+module fxwire
+
+go 1.22

@@ -1,0 +1,124 @@
+// Package proto exercises the wireproto rule.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Kind labels fixture protocol messages.
+type Kind int
+
+// Message kinds.
+const (
+	KindHello Kind = iota + 1 // produced and consumed: clean
+	KindData                  // produced but never consumed
+	KindAck                   // consumed but never produced
+	KindBye                   // produced and consumed, missing from the switch
+)
+
+// Frame is the round-trip-tested wire struct.
+type Frame struct {
+	Kind Kind
+	Body []byte
+}
+
+// Orphan is a wire struct with codecs but no round-trip test.
+type Orphan struct {
+	N uint32
+}
+
+// Marshal encodes a frame.
+func Marshal(f Frame) []byte {
+	b := make([]byte, 5+len(f.Body))
+	b[0] = byte(f.Kind)
+	binary.LittleEndian.PutUint32(b[1:], uint32(len(f.Body)))
+	copy(b[5:], f.Body)
+	return b
+}
+
+// Unmarshal decodes a frame.
+func Unmarshal(b []byte) (Frame, error) {
+	if len(b) < 5 {
+		return Frame{}, errors.New("short frame")
+	}
+	n := binary.LittleEndian.Uint32(b[1:])
+	if len(b) < int(5+n) {
+		return Frame{}, errors.New("truncated frame")
+	}
+	return Frame{Kind: Kind(b[0]), Body: b[5 : 5+n]}, nil
+}
+
+// MarshalOrphan encodes an orphan.
+func MarshalOrphan(o Orphan) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, o.N)
+	return b
+}
+
+// UnmarshalOrphan decodes an orphan.
+func UnmarshalOrphan(b []byte) (Orphan, error) {
+	if len(b) < 4 {
+		return Orphan{}, errors.New("short orphan")
+	}
+	return Orphan{N: binary.LittleEndian.Uint32(b)}, nil
+}
+
+var wire []Frame
+
+// SendAll produces the handshake, data and teardown messages.
+func SendAll(body []byte) {
+	wire = append(wire, Frame{Kind: KindHello})
+	wire = append(wire, Frame{Kind: KindData, Body: body})
+	wire = append(wire, Frame{Kind: KindBye})
+}
+
+// recvKind is the expected-kind helper; passing a constant consumes it.
+func recvKind(want Kind) (Frame, error) {
+	if len(wire) == 0 {
+		return Frame{}, errors.New("empty")
+	}
+	f := wire[0]
+	wire = wire[1:]
+	if f.Kind != want {
+		return Frame{}, errors.New("unexpected kind")
+	}
+	return f, nil
+}
+
+// WaitHello consumes KindHello through the helper.
+func WaitHello() (Frame, error) { return recvKind(KindHello) }
+
+// IsBye consumes KindBye by comparison.
+func IsBye(f Frame) bool { return f.Kind == KindBye }
+
+// Dispatch has no default and misses KindData and KindBye.
+func Dispatch(f Frame) int {
+	switch f.Kind {
+	case KindHello:
+		return 1
+	case KindAck:
+		return 2
+	}
+	return 0
+}
+
+// DispatchDefault handles the rest explicitly: no finding.
+func DispatchDefault(f Frame) int {
+	switch f.Kind {
+	case KindHello:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// DispatchSuppressed documents an intentionally partial switch.
+func DispatchSuppressed(f Frame) bool {
+	//lint:ignore wireproto the fixture only handles the handshake here
+	switch f.Kind {
+	case KindHello:
+		return true
+	}
+	return false
+}

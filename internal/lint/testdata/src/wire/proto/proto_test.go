@@ -1,0 +1,18 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFrameRoundTrip is the codec round-trip test wireproto requires.
+func TestFrameRoundTrip(t *testing.T) {
+	in := Frame{Kind: KindHello, Body: []byte("payload")}
+	out, err := Unmarshal(Marshal(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || !bytes.Equal(out.Body, in.Body) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
