@@ -204,3 +204,22 @@ func BenchmarkExt_HardwareMigration(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAblation_PipelinedEngine compares the pipelined live-migration
+// engine (dump overlapped with pre-copy, streamed chunk sender, concurrent
+// channel setups) against the paper's serial Fig. 8 schedule.
+func BenchmarkAblation_PipelinedEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := bench.AblationPipeline(8, 4096, 250e6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("serial:    total=%v downtime=%v dump=%v",
+				row.Serial.TotalTime, row.Serial.Downtime, row.Serial.EnclaveDumpTime)
+			b.Logf("pipelined: total=%v downtime=%v dump=%v hidden=%v",
+				row.Pipelined.TotalTime, row.Pipelined.Downtime,
+				row.Pipelined.EnclaveDumpTime, row.Pipelined.DumpPrecopyOverlap)
+		}
+	}
+}

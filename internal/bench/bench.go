@@ -388,7 +388,13 @@ func Fig10(counts []int, memPages int, bandwidthBps float64) ([]Fig10Row, error)
 				}
 			}
 			time.Sleep(2 * time.Millisecond)
-			tvm, stats, err := vmm.LiveMigrate(vm, dst, &vmm.LiveMigrationConfig{BandwidthBps: bandwidthBps})
+			// Pin the paper's serial Fig. 8 schedule so the published
+			// timings stay reproducible; A4 measures the pipelined engine.
+			tvm, stats, err := vmm.LiveMigrate(vm, dst, &vmm.LiveMigrationConfig{
+				BandwidthBps:       bandwidthBps,
+				SerialDump:         true,
+				SerialChannelSetup: true,
+			})
 			if err != nil {
 				return nil, err
 			}

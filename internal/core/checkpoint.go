@@ -81,19 +81,25 @@ func OwnerResume(o *Owner, host *enclave.Host, dep *Deployment, blob []byte) (*I
 	if err != nil {
 		return nil, err
 	}
+	// Any failure between the build and a successful restore must free the
+	// fresh instance's EPC (the same leak class MigrateIn had).
+	fail := func(err error) (*Incoming, error) {
+		destroyQuietly(rt)
+		return nil, err
+	}
 	// Begin the target exchange; the owner attests the fresh instance and
 	// delivers Kencrypt bound to that exchange.
 	res, err := rt.CtlCall(enclave.SelCtlTgtBegin, enclave.SharedReqOff)
 	if err != nil {
-		return nil, fmt.Errorf("core: resume begin: %w", err)
+		return fail(fmt.Errorf("core: resume begin: %w", err))
 	}
 	out, err := rt.ReadShared(enclave.SharedReqOff, res[0])
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	report, err := enclave.UnmarshalReport(out[:enclave.ReportWireSize])
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	var enclaveDH tcb.DHPublic
 	var nonce [32]byte
@@ -102,20 +108,20 @@ func OwnerResume(o *Owner, host *enclave.Host, dep *Deployment, blob []byte) (*I
 
 	quote, err := rt.Machine().QuoteReport(report)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if err := o.attestQuote(quote, rt.Measurement()); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if quote.Data != quoteBinding(enclaveDH, nonce) {
-		return nil, fmt.Errorf("core: resume quote does not bind the exchange")
+		return fail(fmt.Errorf("core: resume quote does not bind the exchange"))
 	}
 	if err := o.deliverKencryptForResume(rt, enclaveDH, nonce); err != nil {
-		return nil, err
+		return fail(err)
 	}
-	inc, err := RestoreOwnerKeyed(rt, hdr, blob)
+	inc, err := RestoreOwnerKeyed(rt, hdr, blob, &Options{Service: o.service})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	o.logOp("resume", rt.Measurement(), rt.Machine().AttestationPublic())
 	return inc, nil

@@ -273,9 +273,8 @@ func TestPrepareTimesOutOnHostileWorkload(t *testing.T) {
 	if !errors.Is(err, ErrNotQuiescent) {
 		t.Fatalf("prepare with zero budget: %v", err)
 	}
-	if err := Cancel(src); err != nil {
-		t.Fatal(err)
-	}
+	// A failed Prepare cancels the migration itself; the enclave resumes
+	// without any action from the caller, so the busy ecall completes.
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/enclave"
+	"repro/internal/epcman"
+	"repro/internal/testapps"
+)
+
+// waitGoroutines polls until the goroutine count has dropped back to at most
+// max (migration helpers park in channel receives briefly after a fault).
+func waitGoroutines(t *testing.T, max int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= max {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d running, want <= %d\n%s", n, max, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitFrames polls until the manager's free-frame count returns to want
+// (Destroy may lag behind workers observing self-destruction).
+func waitFrames(t *testing.T, mgr *epcman.Manager, want int, side string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if mgr.FreeFrames() == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s EPC leak: %d free frames, want %d", side, mgr.FreeFrames(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// warmHosts builds and destroys a throwaway enclave on each host so the EPC
+// managers' one-time pool allocations (the first VA page) happen before a
+// test takes its free-frame baseline.
+func warmHosts(t *testing.T, w *world, dep *Deployment) {
+	t.Helper()
+	for _, h := range []*enclave.Host{w.hostA, w.hostB} {
+		rt, err := enclave.BuildSigned(h, dep.App, dep.Sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// measureMigrationOps runs one clean migration with counting (non-failing)
+// wrappers on both halves and reports how many transport operations each
+// side performs — the sweep range for the fault tests.
+func measureMigrationOps(t *testing.T) (srcOps, tgtOps int) {
+	t.Helper()
+	w := newWorld(t)
+	app := testapps.CounterApp(1)
+	src := w.launch(t, app)
+	_, reg := w.deploy(app)
+	t1, t2 := NewPipe()
+	fs := NewFaultyTransport(t1, 0, false)
+	ft := NewFaultyTransport(t2, 0, false)
+	var (
+		inc   *Incoming
+		inErr error
+		wg    sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inc, inErr = MigrateIn(w.hostB, reg, ft, w.opts())
+	}()
+	if _, err := MigrateOut(src, fs, w.opts()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if inErr != nil {
+		t.Fatal(inErr)
+	}
+	for range inc.Results {
+	}
+	destroyQuietly(inc.Runtime)
+	return fs.Ops(), ft.Ops()
+}
+
+func TestFaultSweepSourceSide(t *testing.T) { sweepMigrationFaults(t, true) }
+func TestFaultSweepTargetSide(t *testing.T) { sweepMigrationFaults(t, false) }
+
+// sweepMigrationFaults drives a full migration through every abort point of
+// one protocol half and asserts the invariants the lifecycle fixes protect:
+// the source either resumes with intact state or (only after key release)
+// has self-destroyed, the target never keeps a half-built enclave, and no
+// goroutine is left parked on the dead channel.
+func sweepMigrationFaults(t *testing.T, sourceSide bool) {
+	srcOps, tgtOps := measureMigrationOps(t)
+	n := tgtOps
+	if sourceSide {
+		n = srcOps
+	}
+	if n < 3 {
+		t.Fatalf("implausible op count %d", n)
+	}
+	maxGoroutines := runtime.NumGoroutine() + 2
+	for k := 1; k <= n; k++ {
+		t.Run(fmt.Sprintf("failAt=%d", k), func(t *testing.T) {
+			w := newWorld(t)
+			app := testapps.CounterApp(1)
+			w.owner.ConfigureApp(app)
+			dep, reg := w.deploy(app)
+			warmHosts(t, w, dep)
+			framesA := w.hostA.Mgr.FreeFrames()
+			framesB := w.hostB.Mgr.FreeFrames()
+			src := w.launch(t, app)
+			if _, err := src.ECall(0, testapps.CounterAdd, 7); err != nil {
+				t.Fatal(err)
+			}
+
+			t1, t2 := NewPipe()
+			var ts, td Transport = t1, t2
+			if sourceSide {
+				ts = NewFaultyTransport(t1, k, true)
+			} else {
+				td = NewFaultyTransport(t2, k, true)
+			}
+			var (
+				inc   *Incoming
+				inErr error
+				wg    sync.WaitGroup
+			)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				inc, inErr = MigrateIn(w.hostB, reg, td, w.opts())
+			}()
+			_, outErr := MigrateOut(src, ts, w.opts())
+			wg.Wait()
+			if outErr == nil && inErr == nil {
+				t.Fatal("injected fault never surfaced on either side")
+			}
+
+			// Target: either the migration failed there (its enclave is
+			// already destroyed) or it completed and holds the state.
+			if inErr == nil {
+				for range inc.Results {
+				}
+				destroyQuietly(inc.Runtime)
+			}
+			waitFrames(t, w.hostB.Mgr, framesB, "target")
+
+			// Source: before key release every fault cancels the migration
+			// and the enclave resumes with intact state; after release it
+			// has self-destroyed (the paper accepts the loss, never a fork).
+			res, err := src.ECall(0, testapps.CounterGet)
+			switch {
+			case err == nil:
+				if res[0] != 7 {
+					t.Fatalf("source state after fault: %d, want 7", res[0])
+				}
+			case errors.Is(err, enclave.ErrDestroyed):
+				// Post-release window.
+			default:
+				t.Fatalf("source in broken state after fault: %v", err)
+			}
+			destroyQuietly(src)
+			waitFrames(t, w.hostA.Mgr, framesA, "source")
+			waitGoroutines(t, maxGoroutines)
+		})
+	}
+}
+
+// TestMigrateOutPrepareFailureResumesSource (regression): a MigrateOut whose
+// Prepare phase fails — here via an impossible poll budget against a busy
+// worker — must leave the enclave running normally, not stranded with the
+// migration flag raised and its workers parked.
+func TestMigrateOutPrepareFailureResumesSource(t *testing.T) {
+	w := newWorld(t)
+	app := testapps.CounterApp(1)
+	src := w.launch(t, app)
+	_, reg := w.deploy(app)
+
+	const iterations = 5_000_000
+	done := make(chan error, 1)
+	go func() {
+		_, err := src.ECall(0, testapps.CounterRun, iterations)
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+
+	opts := w.opts()
+	opts.PollBudget = time.Nanosecond
+	opts.PollInterval = time.Microsecond
+	t1, _ := NewPipe()
+	if _, err := MigrateOut(src, t1, opts); !errors.Is(err, ErrNotQuiescent) {
+		t.Fatalf("MigrateOut with zero budget: %v, want ErrNotQuiescent", err)
+	}
+	// The busy ecall completes: the workers were resumed.
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight ecall after failed MigrateOut: %v", err)
+	}
+	res, err := src.ECall(0, testapps.CounterGet)
+	if err != nil || res[0] != iterations {
+		t.Fatalf("source state after failed MigrateOut: %v %v", res, err)
+	}
+	// And the enclave can still migrate for real.
+	_, inc := runMigration(t, src, w.hostB, reg, w.opts())
+	got, err := inc.Runtime.ECall(0, testapps.CounterGet)
+	if err != nil || got[0] != iterations {
+		t.Fatalf("migration after recovered failure: %v %v", got, err)
+	}
+}
+
+// TestMigrateInFailureFreesEPC (regression): every MigrateIn failure after
+// the virgin target enclave is built must free its EPC frames.
+func TestMigrateInFailureFreesEPC(t *testing.T) {
+	w := newWorld(t)
+	app := testapps.CounterApp(1)
+	w.owner.ConfigureApp(app)
+	dep, reg := w.deploy(app)
+	warmHosts(t, w, dep)
+	frames := w.hostB.Mgr.FreeFrames()
+	src := w.launch(t, app)
+
+	opts := w.opts()
+	if _, err := Prepare(src, opts); err != nil {
+		t.Fatal(err)
+	}
+	blob, _, err := Dump(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A "source" that delivers image + checkpoint — enough for the target to
+	// build the enclave — then vanishes mid-channel.
+	t1, t2 := NewPipe()
+	go func() {
+		mr := src.Measurement()
+		_ = t1.Send(Message{Kind: MsgImage, Name: app.Name, Blob: imageBlob(app.Name, mr, src.Layout().Threads)})
+		_ = t1.Send(Message{Kind: MsgCheckpoint, Blob: blob})
+		_, _ = t1.Recv() // the target's hello
+		_ = t1.Close()
+	}()
+	if _, err := MigrateIn(w.hostB, reg, t2, opts); err == nil {
+		t.Fatal("MigrateIn succeeded over a dead channel")
+	}
+	waitFrames(t, w.hostB.Mgr, frames, "target")
+
+	// The source was never told; cancel and carry on.
+	if err := Cancel(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.ECall(0, testapps.CounterGet); err != nil {
+		t.Fatalf("source after cancelled migration: %v", err)
+	}
+}
+
+// TestParseImageBlobAdversarial (regression): the MsgImage length prefixes
+// arrive from the untrusted network; crafted values must neither wrap the
+// bounds arithmetic nor drive giant allocations.
+func TestParseImageBlobAdversarial(t *testing.T) {
+	var mr [32]byte
+	for i := range mr {
+		mr[i] = byte(i)
+	}
+	good := imageBlob("counter", mr, 4)
+	name, gotMR, threads, err := parseImageBlob(good)
+	if err != nil || name != "counter" || gotMR != mr || threads != 4 {
+		t.Fatalf("round trip: %q %v %d %v", name, gotMR, threads, err)
+	}
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     {1, 0, 0},
+		"truncated": good[:len(good)-5],
+		// n = 0xFFFFFFFC makes 4+n+32+4 wrap to 36 in 32-bit arithmetic,
+		// passing a naive length check and then slicing out of range.
+		"wraparound": append([]byte{0xFC, 0xFF, 0xFF, 0xFF}, good[4:]...),
+		"huge-name": func() []byte {
+			b := append([]byte(nil), good...)
+			b[0], b[1] = 0xFF, 0x7F // 32767 > maxImageNameLen
+			return b
+		}(),
+		"huge-threads": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-4], b[len(b)-3], b[len(b)-2], b[len(b)-1] = 0xFF, 0xFF, 0xFF, 0x7F
+			return b
+		}(),
+	}
+	for label, blob := range cases {
+		if _, _, _, err := parseImageBlob(blob); !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s: err = %v, want ErrProtocol", label, err)
+		}
+	}
+}
+
+// TestRestoreHonorsPollBudget (regression): the CSSA-verify wait used to be
+// a hardcoded 5 s; it must honor Options.PollBudget. A host that lies about
+// the rebuilt CSSA values (the attack-path forgery) keeps verification
+// failing, so the restore must give up after the configured budget.
+func TestRestoreHonorsPollBudget(t *testing.T) {
+	w := newWorld(t)
+	app := testapps.CounterApp(1)
+	src := w.launch(t, app)
+	dep, _ := w.deploy(app)
+
+	// A live worker context so the checkpoint records a nonzero CSSA.
+	ecallDone := make(chan struct{})
+	go func() {
+		defer close(ecallDone)
+		_, _ = src.ECall(0, testapps.CounterRun, 100_000_000)
+	}()
+	time.Sleep(2 * time.Millisecond)
+
+	opts := w.opts()
+	if _, err := Prepare(src, opts); err != nil {
+		t.Fatal(err)
+	}
+	blob, _, err := Dump(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err := enclave.UnmarshalHeader(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := false
+	for _, k := range hdr.MigK {
+		live = live || k > 0
+	}
+	if !live {
+		t.Fatal("checkpoint carries no live context; the forgery needs one")
+	}
+
+	tgt, err := enclave.BuildSigned(w.hostB, dep.App, dep.Sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer destroyQuietly(tgt)
+	if err := EstablishChannel(src, tgt, w.service); err != nil {
+		t.Fatal(err)
+	}
+	<-ecallDone // the source self-destroyed at key release
+
+	// The lying host claims no CSSA rebuild is needed: in-enclave
+	// verification refuses forever.
+	for i := range hdr.MigK {
+		hdr.MigK[i] = 0
+	}
+	budget := 250 * time.Millisecond
+	restOpts := &Options{PollBudget: budget, PollInterval: time.Millisecond}
+	start := time.Now()
+	_, err = Restore(tgt, hdr, blob, restOpts)
+	elapsed := time.Since(start)
+	if !errors.Is(err, enclave.ErrVerifyFailed) {
+		t.Fatalf("restore with forged CSSA: %v, want ErrVerifyFailed", err)
+	}
+	if elapsed < budget/2 || elapsed > 10*budget {
+		t.Fatalf("verify wait %v ignores PollBudget %v", elapsed, budget)
+	}
+}

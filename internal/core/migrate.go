@@ -115,40 +115,71 @@ func imageBlob(name string, mr [32]byte, threads int) []byte {
 	return b
 }
 
+// Adversarial-input bounds for MsgImage fields. The blob arrives from the
+// untrusted network before any authentication, so its length prefixes must
+// not be trusted: a huge name length must neither overflow the bounds
+// arithmetic (4+n wraps in uint32) nor drive a giant allocation, and the
+// thread count feeds layout sizing downstream.
+const (
+	maxImageNameLen = 1 << 10
+	maxImageThreads = 1 << 12
+)
+
 func parseImageBlob(b []byte) (name string, mr [32]byte, threads int, err error) {
 	if len(b) < 4 {
 		return "", mr, 0, ErrProtocol
 	}
-	n := binary.LittleEndian.Uint32(b)
-	if len(b) < int(4+n+32+4) {
+	// Widen before doing arithmetic so a crafted n near MaxUint32 cannot
+	// wrap the bounds check and send 4+n out of range of the slice.
+	n := int64(binary.LittleEndian.Uint32(b))
+	if n > maxImageNameLen || int64(len(b)) < 4+n+32+4 {
 		return "", mr, 0, ErrProtocol
 	}
 	name = string(b[4 : 4+n])
 	copy(mr[:], b[4+n:])
-	threads = int(binary.LittleEndian.Uint32(b[4+n+32:]))
-	return name, mr, threads, nil
+	t := binary.LittleEndian.Uint32(b[4+n+32:])
+	if t > maxImageThreads {
+		return "", mr, 0, ErrProtocol
+	}
+	return name, mr, int(t), nil
 }
 
 // Prepare drives the source enclave to its quiescent point (two-phase
 // checkpointing phase 1) and returns how long it took. Exposed separately
 // so the VM migration engine can overlap it with pre-copy.
+//
+// On failure Prepare leaves the enclave running normally: the started
+// migration is cancelled in-enclave and the interrupted workers resume, so a
+// caller that sees e.g. ErrNotQuiescent does not strand the enclave with the
+// global flag raised and its workers parked forever.
 func Prepare(src *enclave.Runtime, opts *Options) (time.Duration, error) {
 	start := time.Now()
 	src.RequestMigration()
 	if _, err := src.CtlCall(enclave.SelCtlMigrateBegin); err != nil {
+		// The begin never took effect inside the enclave (state is still
+		// stNormal); just drop the runtime-side migration mode.
+		src.EndMigration()
 		return 0, fmt.Errorf("core: migrate begin: %w", err)
 	}
 	deadline := time.Now().Add(opts.pollBudget())
 	for {
 		res, err := src.CtlCall(enclave.SelCtlMigratePoll)
 		if err != nil {
-			return 0, fmt.Errorf("core: migrate poll: %w", err)
+			err = fmt.Errorf("core: migrate poll: %w", err)
+			if cErr := Cancel(src); cErr != nil {
+				err = errors.Join(err, cErr)
+			}
+			return 0, err
 		}
 		if res[0] == 1 {
 			return time.Since(start), nil
 		}
 		if time.Now().After(deadline) {
-			return 0, ErrNotQuiescent
+			err := error(ErrNotQuiescent)
+			if cErr := Cancel(src); cErr != nil {
+				err = errors.Join(err, cErr)
+			}
+			return 0, err
 		}
 		src.InterruptWorkers()
 		time.Sleep(opts.pollInterval())
@@ -214,81 +245,144 @@ func MigrateOutPrepared(src *enclave.Runtime, blob []byte, t Transport, opts *Op
 	return migrateOutPrepared(src, blob, t, opts, SourceReport{}, time.Now())
 }
 
-func migrateOutPrepared(src *enclave.Runtime, blob []byte, t Transport, opts *Options, rep SourceReport, start time.Time) (_ SourceReport, err error) {
-	released := false
+func migrateOutPrepared(src *enclave.Runtime, blob []byte, t Transport, opts *Options, rep SourceReport, start time.Time) (SourceReport, error) {
+	ps, err := migrateOutChannel(src, blob, t, opts, rep, start)
+	if err != nil {
+		rep.CheckpointBytes = len(blob)
+		rep.TotalTime = time.Since(start)
+		return rep, err
+	}
+	return ps.Release()
+}
+
+// PreparedSource is the source half of a migration paused right before its
+// commit point: image and checkpoint shipped, attested channel established,
+// but Kmigrate NOT yet released — the enclave is alive and the migration
+// still fully cancellable. The VM live-migration engine runs many channel
+// setups concurrently and then commits one enclave at a time with Release
+// while the target rebuilds it.
+type PreparedSource struct {
+	src       *enclave.Runtime
+	t         Transport
+	opts      *Options
+	rep       SourceReport
+	start     time.Time
+	chanStart time.Time
+}
+
+// MigrateOutChannel runs the source side for a prepared/dumped enclave up to
+// (but excluding) key release. On failure the migration is cancelled and the
+// enclave resumes.
+func MigrateOutChannel(src *enclave.Runtime, blob []byte, t Transport, opts *Options) (*PreparedSource, error) {
+	return migrateOutChannel(src, blob, t, opts, SourceReport{}, time.Now())
+}
+
+func migrateOutChannel(src *enclave.Runtime, blob []byte, t Transport, opts *Options, rep SourceReport, start time.Time) (_ *PreparedSource, err error) {
 	defer func() {
-		if err != nil && !released {
+		if err != nil {
 			if cErr := Cancel(src); cErr != nil {
 				err = errors.Join(err, cErr)
 			}
 		}
-		rep.TotalTime = time.Since(start)
 	}()
-	rep.CheckpointBytes = len(blob)
+	ps := &PreparedSource{src: src, t: t, opts: opts, rep: rep, start: start}
+	ps.rep.CheckpointBytes = len(blob)
 
 	// Tell the target what to build and ship the bulk data.
 	mr := src.Measurement()
 	if err = t.Send(Message{Kind: MsgImage, Name: src.App().Name, Blob: imageBlob(src.App().Name, mr, src.Layout().Threads)}); err != nil {
-		return rep, err
+		return nil, err
 	}
 	if err = t.Send(Message{Kind: MsgCheckpoint, Blob: blob}); err != nil {
-		return rep, err
+		return nil, err
 	}
 
-	chanStart := time.Now()
-	var sealedKey []byte
-	if opts.Agent != nil {
-		// Sec. VI-D: the channel to the agent was (or can be) built ahead
-		// of time; release the key to the agent now.
-		sealedKey, err = opts.Agent.ReleaseFromSource(src, opts)
-		if err != nil {
-			return rep, err
-		}
-		released = true
-		if err = opts.Agent.InstallKey(sealedKey); err != nil {
-			return rep, fmt.Errorf("core: agent install key: %w", err)
-		}
-		// The target fetches the key locally; nothing to send.
-		if err = t.Send(Message{Kind: MsgKey, Blob: nil}); err != nil {
-			return rep, err
-		}
-	} else {
+	ps.chanStart = time.Now()
+	if opts.Agent == nil {
 		// Remote attestation of the target enclave by the source enclave.
 		var hello Message
 		if hello, err = recvKind(t, MsgHello); err != nil {
-			return rep, err
+			return nil, err
 		}
 		var channelOut []byte
 		if channelOut, err = sourceChannel(src, opts.Service, hello.Blob); err != nil {
-			return rep, err
+			return nil, err
 		}
 		if err = t.Send(Message{Kind: MsgChannel, Blob: channelOut}); err != nil {
-			return rep, err
+			return nil, err
 		}
 		if _, err = recvKind(t, MsgChannelOK); err != nil {
-			return rep, err
+			return nil, err
 		}
+	}
+	// Agent mode (Sec. VI-D): the channel to the agent was (or can be)
+	// built ahead of time; there is nothing to set up here.
+	return ps, nil
+}
+
+// Release is the migration's commit point: the source enclave self-destroys
+// and Kmigrate goes out (strictly in that order, Sec. V-B), then the source
+// waits for the target's MsgDone. Failures before the in-enclave release
+// cancel the migration and the enclave resumes; afterwards the instance is
+// gone either way (the paper accepts the loss, never a fork).
+func (ps *PreparedSource) Release() (_ SourceReport, err error) {
+	released := false
+	defer func() {
+		if err != nil && !released {
+			if cErr := Cancel(ps.src); cErr != nil {
+				err = errors.Join(err, cErr)
+			}
+		}
+		ps.rep.TotalTime = time.Since(ps.start)
+	}()
+	src, t, opts := ps.src, ps.t, ps.opts
+
+	var sealedKey []byte
+	if opts.Agent != nil {
+		// Release the key to the agent on the target machine.
+		sealedKey, err = opts.Agent.ReleaseFromSource(src, opts)
+		if err != nil {
+			return ps.rep, err
+		}
+		released = true
+		if err = opts.Agent.InstallKey(sealedKey); err != nil {
+			return ps.rep, fmt.Errorf("core: agent install key: %w", err)
+		}
+		// The target fetches the key locally; MsgKey only signals that it
+		// is in place.
+		if err = t.Send(Message{Kind: MsgKey, Blob: nil}); err != nil {
+			return ps.rep, err
+		}
+	} else {
 		// Self-destroy, then release Kmigrate (strictly last, Sec. V-B).
 		var res [sgx.NumRegs]uint64
 		res, err = src.CtlCall(enclave.SelCtlSrcRelease, enclave.SharedReqOff)
 		if err != nil {
-			return rep, fmt.Errorf("core: key release: %w", err)
+			return ps.rep, fmt.Errorf("core: key release: %w", err)
 		}
 		released = true
 		if sealedKey, err = src.ReadShared(enclave.SharedReqOff, res[0]); err != nil {
-			return rep, err
+			return ps.rep, err
 		}
 		if err = t.Send(Message{Kind: MsgKey, Blob: sealedKey}); err != nil {
-			return rep, err
+			return ps.rep, err
 		}
 	}
-	rep.ChannelTime = time.Since(chanStart)
+	ps.rep.ChannelTime = time.Since(ps.chanStart)
 
 	if _, err = recvKind(t, MsgDone); err != nil {
-		return rep, err
+		return ps.rep, err
 	}
 	src.EndMigration()
-	return rep, nil
+	return ps.rep, nil
+}
+
+// Cancel aborts a prepared source migration before its commit point: the
+// peer is notified, the in-enclave migration state is wiped and the workers
+// resume.
+func (ps *PreparedSource) Cancel(reason string) error {
+	abort(ps.t, reason)
+	return Cancel(ps.src)
 }
 
 // sourceChannel feeds the target's hello through the source control thread:
@@ -361,14 +455,46 @@ type Incoming struct {
 }
 
 // MigrateIn runs the complete target side of an enclave migration over t,
-// building the virgin enclave from the local registry.
+// building the virgin enclave from the local registry. On any failure the
+// partially built target enclave is destroyed, so an aborted migration never
+// leaks EPC.
 func MigrateIn(host *enclave.Host, reg *Registry, t Transport, opts *Options) (*Incoming, error) {
+	pt, err := MigrateInPrepare(host, reg, t, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pt.Finish()
+}
+
+// PreparedTarget is a target-side enclave that has completed the build and
+// attested-channel phases of MigrateIn but not the key delivery or the
+// serial restore (mirror of PreparedSource). The VM live-migration engine
+// prepares many enclaves concurrently (the Fig. 8 channel setups are
+// independent) and then calls Finish on each in turn, keeping the rebuild
+// serial as in the paper.
+type PreparedTarget struct {
+	rt   *enclave.Runtime
+	hdr  enclave.CheckpointHeader
+	blob []byte
+	t    Transport
+	opts *Options
+}
+
+// Runtime exposes the built (not yet restored) target enclave.
+func (pt *PreparedTarget) Runtime() *enclave.Runtime { return pt.rt }
+
+// MigrateInPrepare runs the target side of a migration up to (but excluding)
+// the key delivery and restore: receive image + checkpoint, build the virgin
+// enclave, and run the attested channel. Every error path destroys the
+// enclave it built.
+func MigrateInPrepare(host *enclave.Host, reg *Registry, t Transport, opts *Options) (*PreparedTarget, error) {
 	imgMsg, err := recvKind(t, MsgImage)
 	if err != nil {
 		return nil, err
 	}
 	name, wantMR, _, err := parseImageBlob(imgMsg.Blob)
 	if err != nil {
+		abort(t, "malformed image message")
 		return nil, err
 	}
 	dep, ok := reg.Lookup(name)
@@ -397,46 +523,85 @@ func MigrateIn(host *enclave.Host, reg *Registry, t Transport, opts *Options) (*
 	}
 
 	// Step-1: create and initialise a virgin enclave from the same image.
+	// From here on, every failure must free the EPC this build consumed.
 	rt, err := enclave.BuildSigned(host, dep.App, dep.Sig, opts.BuildOptions...)
 	if err != nil {
 		abort(t, "build failed")
 		return nil, err
 	}
 
-	if opts.Agent != nil {
-		if err := targetKeyFromAgent(rt, opts.Agent); err != nil {
-			abort(t, "agent key fetch failed")
-			return nil, err
-		}
-		// Consume the (empty) key message for protocol symmetry.
-		if _, err := recvKind(t, MsgKey); err != nil {
-			return nil, err
-		}
-	} else {
-		// Step-2: be attested by the source and receive Kmigrate.
+	if opts.Agent == nil {
+		// Step-2: be attested by the source (the key arrives in Finish).
 		if err := targetChannel(rt, t); err != nil {
 			abort(t, "channel failed")
-			return nil, err
-		}
-		keyMsg, err := recvKind(t, MsgKey)
-		if err != nil {
-			return nil, err
-		}
-		if err := writeAndCall(rt, enclave.SelCtlTgtKey, keyMsg.Blob); err != nil {
-			abort(t, "key install failed")
+			destroyQuietly(rt)
 			return nil, err
 		}
 	}
+	return &PreparedTarget{rt: rt, hdr: hdr, blob: blob, t: t, opts: opts}, nil
+}
 
-	inc, err := Restore(rt, hdr, blob)
-	if err != nil {
-		abort(t, "restore failed")
+// Finish receives and installs Kmigrate, performs restore Steps 3-4 (CSSA
+// rebuild, memory restore, re-entry, in-enclave verification), and
+// acknowledges the source with MsgDone. On failure the target enclave is
+// destroyed.
+func (pt *PreparedTarget) Finish() (*Incoming, error) {
+	fail := func(err error) (*Incoming, error) {
+		// Destroying also unblocks any ResumeWorker goroutines parked in the
+		// spin region; their results land in the buffered channel.
+		destroyQuietly(pt.rt)
 		return nil, err
 	}
-	if err := t.Send(Message{Kind: MsgDone}); err != nil {
-		return nil, err
+	if pt.opts.Agent != nil {
+		// MsgKey signals that the source released Kmigrate to the agent;
+		// fetch it by local attestation.
+		if _, err := recvKind(pt.t, MsgKey); err != nil {
+			return fail(err)
+		}
+		if err := targetKeyFromAgent(pt.rt, pt.opts.Agent); err != nil {
+			abort(pt.t, "agent key fetch failed")
+			return fail(err)
+		}
+	} else {
+		keyMsg, err := recvKind(pt.t, MsgKey)
+		if err != nil {
+			return fail(err)
+		}
+		if err := writeAndCall(pt.rt, enclave.SelCtlTgtKey, keyMsg.Blob); err != nil {
+			abort(pt.t, "key install failed")
+			return fail(err)
+		}
+	}
+	inc, err := Restore(pt.rt, pt.hdr, pt.blob, pt.opts)
+	if err != nil {
+		abort(pt.t, "restore failed")
+		return fail(err)
+	}
+	if err := pt.t.Send(Message{Kind: MsgDone}); err != nil {
+		return fail(err)
 	}
 	return inc, nil
+}
+
+// Abort tears the prepared target down without restoring: the peer is told
+// and the built enclave's EPC is returned. Used when a sibling enclave in the
+// same VM migration fails and the whole migration is rolled back.
+func (pt *PreparedTarget) Abort(reason string) {
+	abort(pt.t, reason)
+	destroyQuietly(pt.rt)
+}
+
+// destroyQuietly frees an enclave's EPC on a failure path, retrying briefly:
+// worker threads that are mid-exit (observing self-destruction or a failed
+// verify) can hold the enclave busy for a moment.
+func destroyQuietly(rt *enclave.Runtime) {
+	for i := 0; i < 100; i++ {
+		if err := rt.Destroy(); err == nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = rt.Destroy()
 }
 
 // targetChannel runs ctlTgtBegin, quotes the report, sends the hello and
@@ -485,17 +650,24 @@ func writeAndCall(rt *enclave.Runtime, sel uint64, blob []byte, extra ...uint64)
 
 // Restore performs restore Steps 3-4 on a target enclave that already holds
 // the checkpoint key: rebuild CSSA, restore memory, re-enter handlers, and
-// have the enclave verify the rebuilt CSSA values before going live.
-func Restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte) (*Incoming, error) {
-	return restore(rt, hdr, blob, false)
+// have the enclave verify the rebuilt CSSA values before going live. The
+// verification wait honors opts.PollBudget/PollInterval (nil opts = the
+// defaults). Restore leaves teardown to its caller: a refused restore on a
+// freshly built target must be followed by Destroy (MigrateIn does this),
+// while a refused rollback attempt on a live enclave must leave it running.
+func Restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, opts *Options) (*Incoming, error) {
+	return restore(rt, hdr, blob, false, opts)
 }
 
 // RestoreOwnerKeyed is Restore for Sec. V-C owner-keyed checkpoints.
-func RestoreOwnerKeyed(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte) (*Incoming, error) {
-	return restore(rt, hdr, blob, true)
+func RestoreOwnerKeyed(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, opts *Options) (*Incoming, error) {
+	return restore(rt, hdr, blob, true, opts)
 }
 
-func restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, ownerKeyed bool) (*Incoming, error) {
+func restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, ownerKeyed bool, opts *Options) (*Incoming, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
 	restoreStart := time.Now()
 	// Step-3a: the untrusted runtime rebuilds CSSA by forced AEX cycles.
 	if err := rt.RebuildCSSA(hdr.MigK); err != nil {
@@ -538,9 +710,9 @@ func restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, own
 	}()
 
 	// The verify call fails with errVerifyCSSA until every handler has
-	// actually parked; poll briefly, then treat persistent failure as an
-	// attack (or a broken host) and refuse.
-	deadline := time.Now().Add(5 * time.Second)
+	// actually parked; poll within the configured budget, then treat
+	// persistent failure as an attack (or a broken host) and refuse.
+	deadline := time.Now().Add(opts.pollBudget())
 	for {
 		_, err := rt.CtlCall(enclave.SelCtlTgtVerify)
 		if err == nil {
@@ -548,7 +720,7 @@ func restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, own
 		}
 		var ee *enclave.EnclaveError
 		if errors.As(err, &ee) && time.Now().Before(deadline) {
-			time.Sleep(100 * time.Microsecond)
+			time.Sleep(opts.pollInterval())
 			continue
 		}
 		return nil, fmt.Errorf("%w: %v", enclave.ErrVerifyFailed, err)

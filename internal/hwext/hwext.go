@@ -221,13 +221,23 @@ func ctrlFinishCall(p *Platform, hello []byte) error {
 	return nil
 }
 
+// swapChunkPages is the batch size of the ESWPOUT → ESWPIN stream: pages are
+// re-sealed and installed in chunks of this many so the source-side seal
+// overlaps the target-side install.
+const swapChunkPages = 64
+
+// swapStreamQueue bounds how many sealed chunks may sit between the producer
+// and the consumer.
+const swapStreamQueue = 4
+
 // MigrateTransparent migrates an enclave from src to dst entirely in system
 // software using the extension instructions: freeze (EMIGRATE), re-seal
 // every page under the shared migration key (ESWPOUT), install on the
 // target (ESWPINSECS/ESWPIN) and verify + unfreeze (EMIGRATEDONE). The
-// enclave's threads — including ones interrupted mid-ecall — resume from
-// their SSA contexts on the target with plain ERESUME. Returns the adopted
-// target runtime.
+// ESWPOUT and ESWPIN loops run as a bounded producer/consumer pipeline, so
+// sealing page k overlaps installing page k-1. The enclave's threads —
+// including ones interrupted mid-ecall — resume from their SSA contexts on
+// the target with plain ERESUME. Returns the adopted target runtime.
 func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployment) (*enclave.Runtime, error) {
 	srcM := src.Machine()
 	dstM := dstP.Host.Mgr.Machine()
@@ -250,35 +260,65 @@ func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployme
 		return nil, err
 	}
 	sort.Slice(lins, func(i, j int) bool { return lins[i] < lins[j] })
-	pages := make([]*sgx.MigratedPage, 0, len(lins))
-	for _, lin := range lins {
-		mp, err := srcM.ESWPOUT(eid, lin)
-		if err != nil {
-			return nil, fmt.Errorf("hwext: ESWPOUT page %d: %w", lin, err)
+
+	// Producer: seal pages in chunks. It parks when the queue is full and
+	// reports its outcome exactly once on prodErr.
+	chunks := make(chan []*sgx.MigratedPage, swapStreamQueue)
+	prodErr := make(chan error, 1)
+	go func() {
+		defer close(chunks)
+		batch := make([]*sgx.MigratedPage, 0, swapChunkPages)
+		for _, lin := range lins {
+			mp, err := srcM.ESWPOUT(eid, lin)
+			if err != nil {
+				prodErr <- fmt.Errorf("hwext: ESWPOUT page %d: %w", lin, err)
+				return
+			}
+			batch = append(batch, mp)
+			if len(batch) == swapChunkPages {
+				chunks <- batch
+				batch = make([]*sgx.MigratedPage, 0, swapChunkPages)
+			}
 		}
-		pages = append(pages, mp)
+		if len(batch) > 0 {
+			chunks <- batch
+		}
+		prodErr <- nil
+	}()
+	// fail drains the stream so the producer never stays parked on a dead
+	// consumer, then waits for it to finish.
+	fail := func(err error) (*enclave.Runtime, error) {
+		for range chunks {
+		}
+		<-prodErr
+		return nil, err
 	}
 
-	// Target side.
+	// Consumer: install chunks on the target as they arrive.
 	secsFrame, err := dstP.Host.Mgr.AllocFrame()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	eid2, err := dstM.ESWPINSECS(secsFrame, secs, enclave.ProgramFor(dep.App))
 	if err != nil {
-		return nil, fmt.Errorf("hwext: ESWPINSECS: %w", err)
+		return fail(fmt.Errorf("hwext: ESWPINSECS: %w", err))
 	}
-	for _, mp := range pages {
-		f, err := dstP.Host.Mgr.AllocFrame()
-		if err != nil {
-			return nil, err
+	for batch := range chunks {
+		for _, mp := range batch {
+			f, err := dstP.Host.Mgr.AllocFrame()
+			if err != nil {
+				return fail(err)
+			}
+			if err := dstM.ESWPIN(f, eid2, mp); err != nil {
+				return fail(fmt.Errorf("hwext: ESWPIN page %d: %w", mp.Lin, err))
+			}
+			if mp.Type == sgx.PTReg {
+				dstP.Host.Mgr.NotePage(eid2, mp.Lin, f)
+			}
 		}
-		if err := dstM.ESWPIN(f, eid2, mp); err != nil {
-			return nil, fmt.Errorf("hwext: ESWPIN page %d: %w", mp.Lin, err)
-		}
-		if mp.Type == sgx.PTReg {
-			dstP.Host.Mgr.NotePage(eid2, mp.Lin, f)
-		}
+	}
+	if err := <-prodErr; err != nil {
+		return nil, err
 	}
 	if err := dstM.EMIGRATEDONE(eid2); err != nil {
 		return nil, fmt.Errorf("hwext: EMIGRATEDONE: %w", err)

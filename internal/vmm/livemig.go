@@ -9,6 +9,13 @@ import (
 	"repro/internal/enclave"
 )
 
+// TransportFactory lets a test interpose on the per-enclave control channels
+// LiveMigrate creates internally (e.g. to wrap them in fault injectors). It
+// receives the enclave process name and the two pipe halves and returns the
+// (possibly wrapped) halves: src goes to the source enclave's MigrateOut, dst
+// to the target guest OS.
+type TransportFactory func(name string, src, dst core.Transport) (core.Transport, core.Transport)
+
 // LiveMigrationConfig parameterises a live VM migration.
 type LiveMigrationConfig struct {
 	// BandwidthBps is the simulated migration-link bandwidth in bytes per
@@ -18,6 +25,26 @@ type LiveMigrationConfig struct {
 	MaxRounds int
 	// DirtyThresholdPages stops pre-copy early once the dirty set is small.
 	DirtyThresholdPages int
+	// ChunkPages is the transfer granularity: pages are copied, shipped and
+	// applied in chunks of this many pages (default 64).
+	ChunkPages int
+	// SendQueueChunks bounds the sender queue: at most this many chunks may
+	// be collected ahead of the (bandwidth-shaped) link (default 8).
+	SendQueueChunks int
+	// SerialDump restores the paper's serial Fig. 8 schedule: the enclave
+	// dump completes before the iterative pre-copy rounds start. By default
+	// the dump overlaps pre-copy (the checkpoint pages land in guest memory
+	// and ride later rounds either way). Fig. 10 runs set this to reproduce
+	// the published serial timings.
+	SerialDump bool
+	// SerialChannelSetup runs the per-enclave target-side channel setups
+	// (attest + DH + key install) one enclave at a time instead of
+	// concurrently. The final in-enclave rebuild is serial either way, as in
+	// the paper.
+	SerialChannelSetup bool
+	// TransportFactory, if set, wraps each enclave's internal control pipe
+	// (tests inject transport faults through this).
+	TransportFactory TransportFactory
 	// Opts configures the per-enclave migrations (attestation service,
 	// cipher, ...).
 	Opts *core.Options
@@ -44,7 +71,21 @@ func (c *LiveMigrationConfig) threshold() int {
 	return c.DirtyThresholdPages
 }
 
-// LiveMigrationStats are the Fig. 10 metrics.
+func (c *LiveMigrationConfig) chunkPages() int {
+	if c.ChunkPages == 0 {
+		return 64
+	}
+	return c.ChunkPages
+}
+
+func (c *LiveMigrationConfig) sendQueue() int {
+	if c.SendQueueChunks == 0 {
+		return 8
+	}
+	return c.SendQueueChunks
+}
+
+// LiveMigrationStats are the Fig. 10 metrics plus the pipeline accounting.
 type LiveMigrationStats struct {
 	TotalTime        time.Duration
 	Downtime         time.Duration
@@ -57,6 +98,20 @@ type LiveMigrationStats struct {
 	// EnclaveRestoreTime is the Fig. 10(a) serial restore latency on the
 	// target.
 	EnclaveRestoreTime time.Duration
+	// DumpPrecopyOverlap is how much of EnclaveDumpTime was hidden behind
+	// concurrent pre-copy rounds (0 with SerialDump). Only the unhidden
+	// remainder counts toward Downtime.
+	DumpPrecopyOverlap time.Duration
+	// RoundDirtyPages is the dirty-set size per round: index 0 is the bulk
+	// round (every page), the rest the iterative rounds including the
+	// residue sent right before stop-and-copy.
+	RoundDirtyPages []int
+	// Per-phase bytes on the link (BulkBytes + PreCopyBytes + StopCopyBytes
+	// + EnclaveCtlBytes == TransferredBytes).
+	BulkBytes       int64
+	PreCopyBytes    int64
+	StopCopyBytes   int64
+	EnclaveCtlBytes int64
 }
 
 // link simulates the migration network link.
@@ -82,21 +137,90 @@ func (l *link) total() int64 {
 	return l.bytes
 }
 
+// pageChunk is one unit of the migration stream: a batch of page contents
+// captured on the source, in flight to the target.
+type pageChunk struct {
+	pages   []int
+	data    []byte
+	counter *int64 // per-phase byte counter, touched only by the sender
+}
+
+// chunkSender is the bounded-channel transmit pipeline: the collector side
+// enqueues captured chunks while the sender goroutine pushes earlier chunks
+// through the bandwidth-shaped link and applies them to target memory, so
+// collection overlaps with transmission. FIFO order guarantees that a page
+// re-sent in a later round overwrites its earlier copy on the target.
+type chunkSender struct {
+	ch   chan pageChunk
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+func newChunkSender(dst *GuestMemory, l *link, queue int) *chunkSender {
+	s := &chunkSender{ch: make(chan pageChunk, queue)}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for c := range s.ch {
+			n := int64(len(c.pages)) * PageSize
+			l.transfer(n)
+			dst.ApplyPages(c.pages, c.data)
+			*c.counter += n
+		}
+	}()
+	return s
+}
+
+// send captures the given source pages in chunks and enqueues them. It blocks
+// only when the queue is full (the link is the bottleneck).
+func (s *chunkSender) send(src *GuestMemory, pages []int, chunk int, counter *int64) {
+	for off := 0; off < len(pages); off += chunk {
+		end := off + chunk
+		if end > len(pages) {
+			end = len(pages)
+		}
+		part := pages[off:end]
+		data := make([]byte, len(part)*PageSize)
+		src.CopyPages(part, data)
+		s.ch <- pageChunk{pages: part, data: data, counter: counter}
+	}
+}
+
+// drain closes the queue and waits until every in-flight chunk has crossed
+// the link and landed in target memory. Idempotent: the failure path may
+// drain after the stop-and-copy phase already has.
+func (s *chunkSender) drain() {
+	s.once.Do(func() { close(s.ch) })
+	s.wg.Wait()
+}
+
+// dumpResult carries PrepareAllEnclaves' outcome out of its goroutine.
+type dumpResult struct {
+	blobs map[string][]byte
+	took  time.Duration
+	err   error
+}
+
 // LiveMigrate live-migrates a VM (with any enclaves inside) from its node to
 // dst, implementing the pipeline of Fig. 8:
 //
-//  1. the guest OS prepares every enclave (two-phase checkpointing; the
-//     encrypted checkpoints land in guest memory),
-//  2. iterative pre-copy of guest memory while non-enclave work continues,
-//  3. stop-and-copy of the residual dirty set,
-//  4. per-enclave secure migration (attested channel, key release with
-//     self-destroy, restore with in-enclave CSSA verification), rebuilt
-//     serially as in the paper,
-//  5. resume on the target.
+//  1. bulk round of every guest page, streamed through a bounded sender,
+//  2. the guest OS prepares every enclave (two-phase checkpointing; the
+//     encrypted checkpoints land in guest memory) — by default concurrently
+//     with the pre-copy rounds, serially with cfg.SerialDump,
+//  3. iterative pre-copy of guest memory while non-enclave work continues,
+//  4. stop-and-copy of the residual dirty set,
+//  5. per-enclave secure migration (attested channel, key release with
+//     self-destroy, restore with in-enclave CSSA verification); channel
+//     setups may run concurrently across enclaves but key release and the
+//     in-enclave rebuild stay serial as in the paper — so a setup failure in
+//     any enclave can still cancel every sibling before commitment,
+//  6. resume on the target.
 //
 // Per the paper's accounting, the reported downtime includes the enclave
 // checkpointing time even though non-enclave applications keep running
-// during it.
+// during it; with the pipelined schedule only the dump time that pre-copy
+// could not hide is charged.
 func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrationStats, error) {
 	if cfg == nil {
 		cfg = &LiveMigrationConfig{}
@@ -117,83 +241,232 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	procs := vm.OS.Processes()
 	stats.EnclaveCount = len(procs)
 
-	// Step 1: bulk round (round 0) of every guest page.
-	vm.Mem.MarkAllDirty()
-	page := make([]byte, PageSize)
-	round0 := vm.Mem.CollectDirty()
-	for _, p := range round0 {
-		vm.Mem.CopyPage(p, page)
-		tvm.Mem.ApplyPage(p, page)
+	snd := newChunkSender(tvm.Mem, l, cfg.sendQueue())
+	// fail unwinds a partial migration: finish the stream, resume the source
+	// enclaves, and tear down the half-built target VM so its guest memory
+	// and any restored enclaves' EPC are returned.
+	fail := func(err error) (*VM, *LiveMigrationStats, error) {
+		snd.drain()
+		vm.OS.CancelMigration()
+		_ = tvm.Shutdown()
+		return nil, nil, err
 	}
-	l.transfer(int64(len(round0)) * PageSize)
 
-	// Step 2: prepare all enclaves (Fig. 8 steps 1-6; Fig. 9(d) metric).
-	// The encrypted checkpoints land in guest memory and dirty it, so they
-	// ride the remaining pre-copy rounds — this is the extra transferred
-	// data of Fig. 10(d).
+	// Enclave dump (Fig. 8 steps 1-6; Fig. 9(d) metric). The encrypted
+	// checkpoints land in guest memory and dirty it, so they ride later
+	// pre-copy rounds — this is the extra transferred data of Fig. 10(d).
+	// By default the dump runs concurrently with the bulk and iterative
+	// rounds below; SerialDump blocks here first, reproducing the paper's
+	// serial schedule.
+	dumpCh := make(chan dumpResult, 1)
+	dumpPending := false
 	var blobs map[string][]byte
 	if len(procs) > 0 {
-		blobs, stats.EnclaveDumpTime, err = vm.OS.PrepareAllEnclaves(opts)
-		if err != nil {
-			return nil, nil, fmt.Errorf("vmm: prepare enclaves: %w", err)
+		runDump := func() dumpResult {
+			var r dumpResult
+			r.blobs, r.took, r.err = vm.OS.PrepareAllEnclaves(opts)
+			return r
 		}
-	}
-
-	// Step 3: iterative pre-copy of the dirty residue (checkpoint pages
-	// plus whatever the still-running plain processes touch).
-	for round := 1; ; round++ {
-		dirty := vm.Mem.CollectDirty()
-		if round > 0 && (len(dirty) <= cfg.threshold() || round >= cfg.maxRounds()) {
-			// Keep the residue for the stop-and-copy phase.
-			for _, p := range dirty {
-				vm.Mem.CopyPage(p, page)
-				tvm.Mem.ApplyPage(p, page)
+		if cfg.SerialDump {
+			r := runDump()
+			if r.err != nil {
+				return fail(fmt.Errorf("vmm: prepare enclaves: %w", r.err))
 			}
-			// Residual set is re-sent below after the VM stops; don't
-			// count it twice — the final CollectDirty picks up anything
-			// dirtied from here on, plus we transfer this residue now.
-			l.transfer(int64(len(dirty)) * PageSize)
-			stats.PreCopyRounds = round
-			break
+			blobs, stats.EnclaveDumpTime = r.blobs, r.took
+		} else {
+			dumpPending = true
+			go func() { dumpCh <- runDump() }()
 		}
-		for _, p := range dirty {
-			vm.Mem.CopyPage(p, page)
-			tvm.Mem.ApplyPage(p, page)
-		}
-		l.transfer(int64(len(dirty)) * PageSize)
 	}
 
-	// Step 4: stop-and-copy (downtime window begins). Enclave workers are
-	// already parked in their in-enclave spin regions; stop the rest.
+	// Bulk round (round 0) of every guest page, overlapped with the dump.
+	vm.Mem.MarkAllDirty()
+	round0 := vm.Mem.CollectDirty()
+	stats.RoundDirtyPages = append(stats.RoundDirtyPages, len(round0))
+	snd.send(vm.Mem, round0, cfg.chunkPages(), &stats.BulkBytes)
+
+	// Iterative pre-copy of the dirty residue (checkpoint pages plus
+	// whatever the still-running plain processes touch). While the dump is
+	// pending the rounds keep spinning — that transmission time is hidden
+	// dump time; dumpWaited is the part pre-copy could not hide.
+	var dumpWaited time.Duration
+	for round := 1; ; round++ {
+		if dumpPending {
+			select {
+			case r := <-dumpCh:
+				if r.err != nil {
+					return fail(fmt.Errorf("vmm: prepare enclaves: %w", r.err))
+				}
+				blobs, stats.EnclaveDumpTime = r.blobs, r.took
+				dumpPending = false
+			default:
+			}
+		}
+		dirty := vm.Mem.CollectDirty()
+		stats.RoundDirtyPages = append(stats.RoundDirtyPages, len(dirty))
+		converged := len(dirty) <= cfg.threshold() || round >= cfg.maxRounds()
+		snd.send(vm.Mem, dirty, cfg.chunkPages(), &stats.PreCopyBytes)
+		if !converged {
+			continue
+		}
+		if dumpPending {
+			// Pre-copy has converged but the checkpoints are not out yet:
+			// this wait is the dump time the pipeline failed to hide.
+			waitStart := time.Now()
+			r := <-dumpCh
+			dumpWaited += time.Since(waitStart)
+			if r.err != nil {
+				return fail(fmt.Errorf("vmm: prepare enclaves: %w", r.err))
+			}
+			blobs, stats.EnclaveDumpTime = r.blobs, r.took
+			dumpPending = false
+			// One more round so the checkpoint pages ride pre-copy rather
+			// than bloating the stop-and-copy window.
+			continue
+		}
+		stats.PreCopyRounds = round
+		break
+	}
+	if stats.EnclaveDumpTime > dumpWaited {
+		stats.DumpPrecopyOverlap = stats.EnclaveDumpTime - dumpWaited
+	}
+	if cfg.SerialDump {
+		stats.DumpPrecopyOverlap = 0
+	}
+
+	// Stop-and-copy (downtime window begins). Enclave workers are already
+	// parked in their in-enclave spin regions; stop the rest, ship the final
+	// dirty set and the device state, and drain the stream — everything must
+	// have landed before the target may resume.
 	downStart := time.Now()
 	vm.OS.StopPlain()
 	final := vm.Mem.CollectDirty()
-	for _, p := range final {
-		vm.Mem.CopyPage(p, page)
-		tvm.Mem.ApplyPage(p, page)
-	}
-	l.transfer(int64(len(final))*PageSize + 64*1024 /* device state */)
+	stats.RoundDirtyPages = append(stats.RoundDirtyPages, len(final))
+	snd.send(vm.Mem, final, cfg.chunkPages(), &stats.StopCopyBytes)
+	snd.drain()
+	l.transfer(64 * 1024) // device state
+	stats.StopCopyBytes += 64 * 1024
 
-	// Step 5: migrate each enclave; the target guest OS rebuilds them one
-	// by one (the paper: "the enclaves are rebuilt one by one").
-	restoreStart := time.Now()
+	// Per-enclave secure migration. Each enclave gets an internal control
+	// pipe; the source half runs MigrateOutChannel in a goroutine (image +
+	// checkpoint transfer, attestation, DH — everything up to but excluding
+	// key release) and the target half runs the guest OS receive path up to
+	// the same point. Channel setups proceed concurrently across enclaves
+	// unless SerialChannelSetup; the commit (key release + in-enclave
+	// rebuild) below is serial either way ("the enclaves are rebuilt one by
+	// one"). Keeping key release out of this phase means a failure in any
+	// enclave's setup can still cancel every sibling: no source has
+	// self-destroyed yet.
+	type encMigration struct {
+		p       *Process
+		ts      core.Transport
+		srcDone chan struct{}
+		tgtDone chan struct{}
+		ps      *core.PreparedSource
+		srcErr  error
+		ip      *IncomingProcess
+		tgtErr  error
+	}
+	migs := make([]*encMigration, 0, len(procs))
+	launch := func(p *Process) *encMigration {
+		t1, t2 := core.NewPipe()
+		var ts, td core.Transport = t1, t2
+		if cfg.TransportFactory != nil {
+			ts, td = cfg.TransportFactory(p.Name, t1, t2)
+		}
+		m := &encMigration{p: p, ts: ts, srcDone: make(chan struct{}), tgtDone: make(chan struct{})}
+		go func() {
+			defer close(m.srcDone)
+			m.ps, m.srcErr = core.MigrateOutChannel(p.RT, blobs[p.Name], ts, opts)
+			if m.srcErr != nil {
+				// Unblock the target side: the pipe halves share a close,
+				// so its pending Recv fails instead of parking forever.
+				_ = ts.Close()
+			}
+		}()
+		go func() {
+			defer close(m.tgtDone)
+			m.ip, m.tgtErr = tvm.OS.ReceiveEnclaveProcessPrepare(p.Name, p.Image, td, opts, p.workload)
+			if m.tgtErr != nil {
+				_ = td.Close()
+			}
+		}()
+		return m
+	}
 	for _, p := range procs {
-		if err := migrateEnclaveProcess(p, blobs[p.Name], tvm, opts); err != nil {
-			vm.OS.CancelMigration()
-			return nil, nil, fmt.Errorf("vmm: migrate enclave %s: %w", p.Name, err)
+		m := launch(p)
+		migs = append(migs, m)
+		if cfg.SerialChannelSetup {
+			<-m.srcDone
+			<-m.tgtDone
+		}
+	}
+
+	// Serial commit + rebuild on the target. Past the first successful
+	// release the migration is committed (that source has self-destroyed); a
+	// later failure still unwinds — the paper accepts losing the instance
+	// over forking it.
+	restoreStart := time.Now()
+	var migErr error
+	for _, m := range migs {
+		// Both goroutines always terminate: each closes its pipe half on
+		// error, which unblocks the peer's pending Recv.
+		<-m.srcDone
+		<-m.tgtDone
+		switch {
+		case migErr != nil:
+			if m.tgtErr == nil {
+				m.ip.Abort("sibling enclave migration failed")
+			}
+			if m.srcErr == nil {
+				_ = m.ps.Cancel("sibling enclave migration failed")
+			}
+		case m.srcErr != nil:
+			migErr = fmt.Errorf("vmm: migrate enclave %s: %w", m.p.Name, m.srcErr)
+			if m.tgtErr == nil {
+				m.ip.Abort("source channel setup failed")
+			}
+		case m.tgtErr != nil:
+			migErr = fmt.Errorf("vmm: migrate enclave %s: %w", m.p.Name, m.tgtErr)
+			_ = m.ps.Cancel("target prepare failed")
+		default:
+			// Commit point (Sec. V-B): the source releases Kmigrate and
+			// self-destroys strictly before the key crosses the channel;
+			// the target installs it and rebuilds. Release blocks on the
+			// target's MsgDone, so the two halves run concurrently.
+			relDone := make(chan error, 1)
+			go func(m *encMigration) {
+				_, err := m.ps.Release()
+				if err != nil {
+					// Unblock a Restore parked on the key receive.
+					_ = m.ts.Close()
+				}
+				relDone <- err
+			}(m)
+			_, _, rerr := m.ip.Restore()
+			relErr := <-relDone
+			if rerr != nil {
+				migErr = fmt.Errorf("vmm: migrate enclave %s: %w", m.p.Name, rerr)
+			} else if relErr != nil {
+				migErr = fmt.Errorf("vmm: migrate enclave %s: %w", m.p.Name, relErr)
+			}
 		}
 		// Control-protocol traffic (quote, verdict, DH, sealed key).
 		l.transfer(1024)
+		stats.EnclaveCtlBytes += 1024
+	}
+	if migErr != nil {
+		return fail(migErr)
 	}
 	if len(procs) > 0 {
 		stats.EnclaveRestoreTime = time.Since(restoreStart)
 	}
 
-	// Step 6: resume on the target.
+	// Resume on the target.
 	for _, tp := range tvm.OS.Processes() {
 		tp.start()
 	}
-	stats.Downtime = time.Since(downStart) + stats.EnclaveDumpTime
+	stats.Downtime = time.Since(downStart) + stats.EnclaveDumpTime - stats.DumpPrecopyOverlap
 	stats.TotalTime = time.Since(start)
 	stats.TransferredBytes = l.total()
 
@@ -205,27 +478,6 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 		_ = destroyWithRetry(p)
 	}
 	return tvm, stats, nil
-}
-
-// migrateEnclaveProcess runs one enclave's secure migration into the target
-// VM over an in-process control channel (the checkpoint bytes themselves
-// already travelled — and were paid for — in the guest-memory stream).
-func migrateEnclaveProcess(p *Process, blob []byte, tvm *VM, opts *core.Options) error {
-	t1, t2 := core.NewPipe()
-	type inResult struct {
-		proc *Process
-		err  error
-	}
-	done := make(chan inResult, 1)
-	go func() {
-		tp, _, err := tvm.OS.ReceiveEnclaveProcess(p.Name, p.Image, t2, opts, p.workload)
-		done <- inResult{proc: tp, err: err}
-	}()
-	if _, err := core.MigrateOutPrepared(p.RT, blob, t1, opts); err != nil {
-		return err
-	}
-	res := <-done
-	return res.err
 }
 
 // destroyWithRetry frees the source enclave's EPC after its worker threads
@@ -241,27 +493,62 @@ func destroyWithRetry(p *Process) error {
 	return err
 }
 
-// ReceiveEnclaveProcess is the target guest OS half of one enclave
-// migration: allocate a shared region in this VM's memory, rebuild the
-// image, restore, and register the process (its workload loops start when
-// the VM resumes).
-func (o *OS) ReceiveEnclaveProcess(name, image string, t core.Transport, opts *core.Options, workload WorkloadFunc) (*Process, *core.Incoming, error) {
+// IncomingProcess is a target-side enclave process whose build and attested
+// channel have completed but whose key delivery and in-enclave rebuild have
+// not run yet. LiveMigrate prepares all enclaves (possibly concurrently) and
+// then calls Restore on each in turn.
+type IncomingProcess struct {
+	os         *OS
+	name       string
+	image      string
+	workload   WorkloadFunc
+	pt         *core.PreparedTarget
+	sharedBase uint64
+	sharedSize uint64
+}
+
+// ReceiveEnclaveProcessPrepare is the target guest OS half of one enclave
+// migration up to (but excluding) the key delivery and restore: allocate a
+// shared region in this VM's memory, rebuild the image, and run the attested
+// channel. The returned IncomingProcess must be finished with Restore or
+// released with Abort.
+func (o *OS) ReceiveEnclaveProcessPrepare(name, image string, t core.Transport, opts *core.Options, workload WorkloadFunc) (*IncomingProcess, error) {
 	dep, ok := o.reg.Lookup(image)
 	if !ok {
-		return nil, nil, fmt.Errorf("vmm: image %q not deployed in guest %s", image, o.Name)
+		return nil, fmt.Errorf("vmm: image %q not deployed in guest %s", image, o.Name)
 	}
 	size := uint64(enclave.SharedSizeFor(appLayout(dep.App)))
 	base, err := o.allocShared(size)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	region, err := o.mem.Region(base, size)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	inOpts := *opts
 	inOpts.BuildOptions = append(append([]enclave.BuildOption(nil), opts.BuildOptions...), enclave.WithShared(region))
-	inc, err := core.MigrateIn(o.host, o.reg, t, &inOpts)
+	pt, err := core.MigrateInPrepare(o.host, o.reg, t, &inOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &IncomingProcess{
+		os:         o,
+		name:       name,
+		image:      image,
+		workload:   workload,
+		pt:         pt,
+		sharedBase: base,
+		sharedSize: size,
+	}, nil
+}
+
+// Restore receives and installs the migration key, performs the serial
+// in-enclave rebuild (CSSA restore + verify), and registers the process with
+// the guest OS; its workload loops start when the VM resumes. On failure the
+// built enclave's EPC has been freed.
+func (ip *IncomingProcess) Restore() (*Process, *core.Incoming, error) {
+	inc, err := ip.pt.Finish()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -272,15 +559,30 @@ func (o *OS) ReceiveEnclaveProcess(name, image string, t core.Transport, opts *c
 		}
 	}()
 	p := &Process{
-		Name:       name,
-		Image:      image,
+		Name:       ip.name,
+		Image:      ip.image,
 		RT:         inc.Runtime,
-		workload:   workload,
-		sharedBase: base,
-		sharedSize: size,
+		workload:   ip.workload,
+		sharedBase: ip.sharedBase,
+		sharedSize: ip.sharedSize,
 	}
-	o.mu.Lock()
-	o.procs = append(o.procs, p)
-	o.mu.Unlock()
+	ip.os.mu.Lock()
+	ip.os.procs = append(ip.os.procs, p)
+	ip.os.mu.Unlock()
 	return p, inc, nil
+}
+
+// Abort tears the prepared target process down without restoring (the peer
+// is notified and the enclave's EPC returned).
+func (ip *IncomingProcess) Abort(reason string) { ip.pt.Abort(reason) }
+
+// ReceiveEnclaveProcess runs the complete target guest OS half of one
+// enclave migration: prepare (shared region, rebuild, channel, key) followed
+// immediately by the restore.
+func (o *OS) ReceiveEnclaveProcess(name, image string, t core.Transport, opts *core.Options, workload WorkloadFunc) (*Process, *core.Incoming, error) {
+	ip, err := o.ReceiveEnclaveProcessPrepare(name, image, t, opts, workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ip.Restore()
 }

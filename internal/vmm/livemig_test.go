@@ -105,6 +105,17 @@ func TestLiveMigrateVMWithEnclaves(t *testing.T) {
 	if stats.Downtime <= 0 || stats.TotalTime < stats.Downtime {
 		t.Fatalf("inconsistent timing: %+v", stats)
 	}
+	// Pipeline accounting: the per-phase byte counters partition the total,
+	// and the overlap window never exceeds the dump it hides.
+	if sum := stats.BulkBytes + stats.PreCopyBytes + stats.StopCopyBytes + stats.EnclaveCtlBytes; sum != stats.TransferredBytes {
+		t.Fatalf("phase bytes %d do not partition TransferredBytes %d", sum, stats.TransferredBytes)
+	}
+	if stats.DumpPrecopyOverlap < 0 || stats.DumpPrecopyOverlap > stats.EnclaveDumpTime {
+		t.Fatalf("overlap %v outside [0, dump %v]", stats.DumpPrecopyOverlap, stats.EnclaveDumpTime)
+	}
+	if len(stats.RoundDirtyPages) < 2 || stats.RoundDirtyPages[0] != vm.Config.MemPages {
+		t.Fatalf("RoundDirtyPages = %v, want bulk round of %d pages first", stats.RoundDirtyPages, vm.Config.MemPages)
+	}
 
 	// The migrated enclaves are live and their state moved: counters keep
 	// growing on the target.
@@ -116,6 +127,53 @@ func TestLiveMigrateVMWithEnclaves(t *testing.T) {
 		}
 		if res[0] == 0 {
 			t.Fatalf("%s: migrated counter is zero — state did not move", p.Name)
+		}
+	}
+	if err := tvm.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveMigrateSerialConfig pins the paper's serial Fig. 8 schedule behind
+// the config knobs: no dump/pre-copy overlap is reported and the migration
+// still lands intact.
+func TestLiveMigrateSerialConfig(t *testing.T) {
+	_, owner, src, dst := newCloud(t)
+	deployCounter(t, owner, src, dst)
+
+	vm, err := src.CreateVM(VMConfig{Name: "vm-serial", MemPages: 2048, VCPUs: 4, EPCQuota: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := vm.OS.LaunchEnclaveProcess(fmt.Sprintf("enc-%d", i), "counter", owner, counterWorkload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(2 * time.Millisecond)
+
+	tvm, stats, err := LiveMigrate(vm, dst, &LiveMigrationConfig{
+		BandwidthBps:       1e9,
+		SerialDump:         true,
+		SerialChannelSetup: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DumpPrecopyOverlap != 0 {
+		t.Fatalf("serial schedule reported overlap %v", stats.DumpPrecopyOverlap)
+	}
+	if stats.EnclaveDumpTime <= 0 || stats.EnclaveRestoreTime <= 0 {
+		t.Fatalf("missing enclave phase timings: %+v", stats)
+	}
+	tvm.OS.StopAll()
+	for _, p := range tvm.OS.Processes() {
+		res, err := p.RT.ECall(0, testapps.CounterGet)
+		if err != nil {
+			t.Fatalf("%s: post-migration ecall: %v", p.Name, err)
+		}
+		if res[0] == 0 {
+			t.Fatalf("%s: migrated counter is zero", p.Name)
 		}
 	}
 	if err := tvm.Shutdown(); err != nil {

@@ -80,6 +80,27 @@ func (g *GuestMemory) ApplyPage(p int, src []byte) {
 	copy(g.data[p*PageSize:(p+1)*PageSize], src)
 }
 
+// CopyPages reads the given pages into dst (len(pages)*PageSize bytes) under
+// a single lock acquisition — the batch read side of chunked migration
+// transfers.
+func (g *GuestMemory) CopyPages(pages []int, dst []byte) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for i, p := range pages {
+		copy(dst[i*PageSize:(i+1)*PageSize], g.data[p*PageSize:(p+1)*PageSize])
+	}
+}
+
+// ApplyPages installs a batch of migrated pages (the chunk layout CopyPages
+// produces) without marking them dirty.
+func (g *GuestMemory) ApplyPages(pages []int, src []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, p := range pages {
+		copy(g.data[p*PageSize:(p+1)*PageSize], src[i*PageSize:(i+1)*PageSize])
+	}
+}
+
 // CollectDirty returns the currently dirty pages and clears their bits.
 func (g *GuestMemory) CollectDirty() []int {
 	g.mu.Lock()
