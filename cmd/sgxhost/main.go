@@ -9,9 +9,14 @@
 // distribution. Machine attestation keys are exchanged and registered when
 // hosts first talk to each other.
 //
+// With -telemetry-addr the daemon additionally serves its live telemetry
+// over HTTP: /metrics (plain-text instrument dump) and /debug/trace
+// (Chrome trace-event JSON of every migration span so far); see
+// docs/TELEMETRY.md.
+//
 // Usage:
 //
-//	sgxhost -listen 127.0.0.1:7001 -name alpha  -secret demo &
+//	sgxhost -listen 127.0.0.1:7001 -name alpha  -secret demo -telemetry-addr 127.0.0.1:7101 &
 //	sgxhost -listen 127.0.0.1:7002 -name beta   -secret demo &
 //	sgxmigrate -from 127.0.0.1:7001 -to 127.0.0.1:7002
 package main
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"sync"
 
 	"repro/internal/attest"
@@ -29,6 +35,7 @@ import (
 	"repro/internal/enclave"
 	"repro/internal/hostproto"
 	"repro/internal/sgx"
+	"repro/internal/telemetry"
 	"repro/internal/testapps"
 	"repro/internal/workload"
 )
@@ -38,11 +45,12 @@ func main() {
 	name := flag.String("name", "host", "machine name")
 	secret := flag.String("secret", "", "shared deployment secret (required)")
 	epc := flag.Int("epc", 8192, "EPC frames")
+	telAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/trace on this address (empty disables telemetry)")
 	flag.Parse()
 	if *secret == "" {
 		log.Fatal("sgxhost: -secret is required")
 	}
-	if err := run(*listen, *name, *secret, *epc); err != nil {
+	if err := run(*listen, *name, *secret, *epc, *telAddr); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -55,11 +63,18 @@ type server struct {
 	service  *attest.Service
 	owner    *core.Owner
 	registry *core.Registry
-	next     int
-	enclaves map[string]*enclave.Runtime
+	next     int // launch/migrate-in ID counter; guarded by mu
+
+	// sessions is the lock-striped table of live enclave sessions, so
+	// concurrent calls into different enclaves don't serialize on s.mu.
+	sessions *core.SessionTable
+
+	// tr/met are nil unless -telemetry-addr is set; all uses are nil-safe.
+	tr  *telemetry.Tracer
+	met *telemetry.Metrics
 }
 
-func run(listen, name, secret string, epc int) error {
+func run(listen, name, secret string, epc int, telAddr string) error {
 	ids := hostproto.DeriveIdentities(secret)
 	service := attest.NewServiceFromSeed(ids.ServiceSeed)
 	owner := core.NewOwnerFromSeeds(service, ids.SignerSeed, ids.EnclaveSeed, ids.Kencrypt)
@@ -82,7 +97,26 @@ func run(listen, name, secret string, epc int) error {
 		service:  service,
 		owner:    owner,
 		registry: registry,
-		enclaves: make(map[string]*enclave.Runtime),
+		sessions: core.NewSessionTable(),
+	}
+
+	if telAddr != "" {
+		s.tr = telemetry.New()
+		s.met = telemetry.NewMetrics()
+		s.host.Mgr.SetMetrics(s.met)
+		inner := telemetry.Handler(s.tr, s.met)
+		handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Hardware counters and session gauges are pull-based:
+			// refresh them per scrape instead of on every ecall.
+			s.refreshGauges()
+			inner.ServeHTTP(w, r)
+		})
+		go func() {
+			if err := http.ListenAndServe(telAddr, handler); err != nil {
+				log.Printf("sgxhost: telemetry server: %v", err)
+			}
+		}()
+		log.Printf("telemetry on http://%s/metrics and /debug/trace", telAddr)
 	}
 
 	ln, err := net.Listen("tcp", listen)
@@ -98,6 +132,16 @@ func run(listen, name, secret string, epc int) error {
 		}
 		go s.serve(conn)
 	}
+}
+
+// refreshGauges publishes the pull-only instruments before a scrape.
+func (s *server) refreshGauges() {
+	ee, er, ax := s.machine.ExecCounters()
+	s.met.Gauge("sgx.eenter").Set(int64(ee))
+	s.met.Gauge("sgx.eresume").Set(int64(er))
+	s.met.Gauge("sgx.aex").Set(int64(ax))
+	s.met.Gauge("host.sessions").Set(int64(s.sessions.Len()))
+	s.met.Gauge("epcman.frames.free").Set(int64(s.host.Mgr.FreeFrames()))
 }
 
 // builtinImages is the deployment set every host knows.
@@ -131,6 +175,7 @@ func (s *server) serve(conn net.Conn) {
 }
 
 func (s *server) handle(cmd hostproto.Command) hostproto.Response {
+	s.met.Counter("host.ops." + string(cmd.Op)).Inc()
 	switch cmd.Op {
 	case hostproto.OpLaunch:
 		return s.launch(cmd.Image)
@@ -146,6 +191,8 @@ func (s *server) handle(cmd hostproto.Command) hostproto.Response {
 }
 
 func (s *server) launch(image string) hostproto.Response {
+	sp := s.tr.Begin("host.launch", telemetry.String("image", image))
+	defer sp.End()
 	dep, ok := s.registry.Lookup(image)
 	if !ok {
 		return hostproto.Response{Err: fmt.Sprintf("unknown image %q", image)}
@@ -161,21 +208,14 @@ func (s *server) launch(image string) hostproto.Response {
 	s.mu.Lock()
 	s.next++
 	id := fmt.Sprintf("%s-%d", image, s.next)
-	s.enclaves[id] = rt
 	s.mu.Unlock()
+	s.sessions.Add(id, rt)
 	log.Printf("launched %s (enclave %d)", id, rt.EnclaveID())
 	return hostproto.Response{ID: id}
 }
 
-func (s *server) byID(id string) (*enclave.Runtime, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rt, ok := s.enclaves[id]
-	return rt, ok
-}
-
 func (s *server) call(cmd hostproto.Command) hostproto.Response {
-	rt, ok := s.byID(cmd.ID)
+	rt, ok := s.sessions.Lookup(cmd.ID)
 	if !ok {
 		return hostproto.Response{Err: fmt.Sprintf("no enclave %q", cmd.ID)}
 	}
@@ -187,22 +227,24 @@ func (s *server) call(cmd hostproto.Command) hostproto.Response {
 }
 
 func (s *server) list() hostproto.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var ids []string
-	for id, rt := range s.enclaves {
+	s.sessions.Range(func(id string, rt *enclave.Runtime) bool {
 		status := "live"
 		if rt.Dead() {
 			status = "dead"
 		}
 		ids = append(ids, id+" ("+status+")")
-	}
+		return true
+	})
 	return hostproto.Response{IDs: ids}
 }
 
 // migrateOut ships one of our enclaves to another sgxhost.
 func (s *server) migrateOut(cmd hostproto.Command) hostproto.Response {
-	rt, ok := s.byID(cmd.ID)
+	sp := s.tr.Begin("host.migrateout",
+		telemetry.String("enclave", cmd.ID), telemetry.String("target", cmd.Target))
+	defer sp.End()
+	rt, ok := s.sessions.Lookup(cmd.ID)
 	if !ok {
 		return hostproto.Response{Err: fmt.Sprintf("no enclave %q", cmd.ID)}
 	}
@@ -227,10 +269,14 @@ func (s *server) migrateOut(cmd hostproto.Command) hostproto.Response {
 	}
 	s.service.RegisterMachine(peer.Key)
 
-	rep, err := core.MigrateOut(rt, core.NewConnTransport(conn), &core.Options{Service: s.service})
+	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met}
+	rep, err := core.MigrateOut(rt, core.NewConnTransport(conn), opts)
 	if err != nil {
+		sp.Fail(err)
+		s.met.Counter("host.migrations.failed").Inc()
 		return hostproto.Response{Err: err.Error()}
 	}
+	s.met.Counter("host.migrations.out").Inc()
 	log.Printf("migrated %s to %s: prepare=%v dump=%v channel=%v total=%v (%d checkpoint bytes)",
 		cmd.ID, cmd.Target, rep.PrepareTime, rep.DumpTime, rep.ChannelTime, rep.TotalTime, rep.CheckpointBytes)
 	return hostproto.Response{Report: fmt.Sprintf("total=%v checkpoint=%dB", rep.TotalTime, rep.CheckpointBytes)}
@@ -238,6 +284,8 @@ func (s *server) migrateOut(cmd hostproto.Command) hostproto.Response {
 
 // handleMigrateIn accepts an inbound migration on this connection.
 func (s *server) handleMigrateIn(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, cmd hostproto.Command) {
+	sp := s.tr.Begin("host.migratein", telemetry.String("enclave", cmd.ID))
+	defer sp.End()
 	var peer hostproto.MachineKey
 	if err := dec.Decode(&peer); err != nil {
 		return
@@ -246,11 +294,15 @@ func (s *server) handleMigrateIn(conn net.Conn, dec *gob.Decoder, enc *gob.Encod
 	if err := enc.Encode(hostproto.MachineKey{Key: s.machine.AttestationPublic()}); err != nil {
 		return
 	}
-	inc, err := core.MigrateIn(s.host, s.registry, core.NewConnTransport(conn), &core.Options{Service: s.service})
+	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met}
+	inc, err := core.MigrateIn(s.host, s.registry, core.NewConnTransport(conn), opts)
 	if err != nil {
+		sp.Fail(err)
+		s.met.Counter("host.migrations.failed").Inc()
 		log.Printf("inbound migration failed: %v", err)
 		return
 	}
+	s.met.Counter("host.migrations.in").Inc()
 	go func() {
 		for r := range inc.Results {
 			if r.Err != nil {
@@ -263,7 +315,7 @@ func (s *server) handleMigrateIn(conn net.Conn, dec *gob.Decoder, enc *gob.Encod
 	s.mu.Lock()
 	s.next++
 	id := fmt.Sprintf("%s@%d", cmd.ID, s.next)
-	s.enclaves[id] = inc.Runtime
 	s.mu.Unlock()
+	s.sessions.Add(id, inc.Runtime)
 	log.Printf("accepted migration of %s as %s (restore=%v verify=%v)", cmd.ID, id, inc.RestoreTime, inc.VerifyTime)
 }

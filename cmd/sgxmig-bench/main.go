@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	sgxmig-bench              # run everything (takes a few minutes)
-//	sgxmig-bench -fig 9a      # one experiment: 9a 9b 9c 9d 10 11 a1 a2 a3 a4
-//	sgxmig-bench -quick       # smaller sweeps
+//	sgxmig-bench                     # run everything (takes a few minutes)
+//	sgxmig-bench -fig 9a             # one experiment: 9a 9b 9c 9d 10 11 a1 a2 a3 a4
+//	sgxmig-bench -quick              # smaller sweeps
+//	sgxmig-bench -trace out.json     # also write a Chrome trace (see docs/TELEMETRY.md)
 package main
 
 import (
@@ -21,12 +22,33 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/tcb"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "experiment to run: 9a 9b 9c 9d 10 11 a1 a2 a3 a4 all")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
 	flag.Parse()
+
+	if *tracePath != "" {
+		tr := telemetry.New()
+		met := telemetry.NewMetrics()
+		bench.SetTracer(tr, met)
+		defer func() {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				log.Fatalf("trace: %v", err)
+			}
+			if err := tr.WriteChromeTrace(f); err != nil {
+				log.Fatalf("trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("trace: %v", err)
+			}
+			fmt.Printf("\nwrote %d spans to %s\n", len(tr.Completed()), *tracePath)
+		}()
+	}
 
 	runs := map[string]func(bool) error{
 		"9a": fig9a, "9b": fig9b, "9c": fig9c, "9d": fig9d,

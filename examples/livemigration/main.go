@@ -10,11 +10,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/attest"
 	"repro/internal/core"
 	"repro/internal/enclave"
+	"repro/internal/telemetry"
 	"repro/internal/testapps"
 	"repro/internal/vmm"
 )
@@ -24,8 +26,9 @@ func main() {
 	memMB := flag.Int("mem", 16, "guest memory in MiB")
 	bandwidthMBps := flag.Float64("bw", 1000, "migration link bandwidth (MB/s)")
 	serial := flag.Bool("serial", false, "use the paper's serial Fig. 8 schedule instead of the pipelined engine")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the migration to this file (open in ui.perfetto.dev)")
 	flag.Parse()
-	if err := run(*enclaves, *memMB, *bandwidthMBps, *serial); err != nil {
+	if err := run(*enclaves, *memMB, *bandwidthMBps, *serial, *tracePath); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -50,7 +53,7 @@ func counterWorkload(rt *enclave.Runtime, worker int, stop <-chan struct{}) {
 	}
 }
 
-func run(enclaves, memMB int, bwMBps float64, serial bool) error {
+func run(enclaves, memMB int, bwMBps float64, serial bool, tracePath string) error {
 	service, err := attest.NewService()
 	if err != nil {
 		return err
@@ -95,13 +98,37 @@ func run(enclaves, memMB int, bwMBps float64, serial bool) error {
 		vm.Name, nodeA.Name, memMB, enclaves)
 	time.Sleep(10 * time.Millisecond) // let the workloads build state
 
+	var tr *telemetry.Tracer
+	var met *telemetry.Metrics
+	if tracePath != "" {
+		tr = telemetry.New()
+		met = telemetry.NewMetrics()
+	}
 	tvm, stats, err := vmm.LiveMigrate(vm, nodeB, &vmm.LiveMigrationConfig{
 		BandwidthBps:       bwMBps * 1e6,
 		SerialDump:         serial,
 		SerialChannelSetup: serial,
+		Tracer:             tr,
+		Metrics:            met,
 	})
 	if err != nil {
 		return err
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d spans to %s; metrics snapshot:\n", len(tr.Completed()), tracePath)
+		if err := met.WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	schedule := "pipelined"
 	if serial {

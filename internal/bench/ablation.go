@@ -13,6 +13,7 @@ import (
 	"repro/internal/hwext"
 	"repro/internal/sgx"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/testapps"
 	"repro/internal/vmm"
 )
@@ -366,8 +367,12 @@ func AblationHardwareExtension(heapPages []int) ([]HWExtRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			tr, met := telemetryHandles()
+			pb.Trace = tr.Begin("bench.a3.hwext", telemetry.Int("heap_pages", hp))
+			pb.Metrics = met
 			start := time.Now()
 			tgt, err := hwext.MigrateTransparent(src, pb, dep)
+			pb.Trace.Fail(err)
 			if err != nil {
 				return nil, fmt.Errorf("hw path (heap %d): %w", hp, err)
 			}
@@ -460,10 +465,13 @@ func pipelineMigrate(enclaves, memPages int, bandwidthBps float64, serial bool) 
 		}
 	}
 	time.Sleep(2 * time.Millisecond)
+	tr, met := telemetryHandles()
 	tvm, stats, err := vmm.LiveMigrate(vm, dst, &vmm.LiveMigrationConfig{
 		BandwidthBps:       bandwidthBps,
 		SerialDump:         serial,
 		SerialChannelSetup: serial,
+		Tracer:             tr,
+		Metrics:            met,
 	})
 	if err != nil {
 		return nil, err

@@ -17,6 +17,7 @@ import (
 	"repro/internal/sgx"
 	"repro/internal/sim"
 	"repro/internal/tcb"
+	"repro/internal/telemetry"
 	"repro/internal/testapps"
 	"repro/internal/vmm"
 	"repro/internal/workload"
@@ -282,8 +283,11 @@ func Fig9d(counts []int) ([]Fig9dRow, error) {
 		}
 		_ = owner
 		time.Sleep(2 * time.Millisecond)
-		opts := &core.Options{Service: vmEnv.Node.Service}
+		tr, met := telemetryHandles()
+		sp := tr.Begin("bench.fig9d.dump", telemetry.Int("enclaves", n))
+		opts := &core.Options{Service: vmEnv.Node.Service, Trace: sp, Metrics: met}
 		_, dumpTime, err := vmEnv.OS.PrepareAllEnclaves(opts)
+		sp.Fail(err)
 		if err != nil {
 			return nil, err
 		}
@@ -390,10 +394,13 @@ func Fig10(counts []int, memPages int, bandwidthBps float64) ([]Fig10Row, error)
 			time.Sleep(2 * time.Millisecond)
 			// Pin the paper's serial Fig. 8 schedule so the published
 			// timings stay reproducible; A4 measures the pipelined engine.
+			tr, met := telemetryHandles()
 			tvm, stats, err := vmm.LiveMigrate(vm, dst, &vmm.LiveMigrationConfig{
 				BandwidthBps:       bandwidthBps,
 				SerialDump:         true,
 				SerialChannelSetup: true,
+				Tracer:             tr,
+				Metrics:            met,
 			})
 			if err != nil {
 				return nil, err

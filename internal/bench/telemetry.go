@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// The package-level telemetry hook: cmd/sgxmig-bench installs a tracer (and
+// optionally a metrics registry) before invoking a runner, and the runners
+// thread the pair into every migration they drive. Both default to nil, so
+// plain `go test` runs stay uninstrumented.
+var (
+	telMu      sync.Mutex
+	benchTrace *telemetry.Tracer  // guarded by telMu
+	benchMet   *telemetry.Metrics // guarded by telMu
+)
+
+// SetTracer installs the tracer and metrics registry subsequent runner
+// invocations report into. Either may be nil to disable that half.
+func SetTracer(tr *telemetry.Tracer, met *telemetry.Metrics) {
+	telMu.Lock()
+	defer telMu.Unlock()
+	benchTrace = tr
+	benchMet = met
+}
+
+// telemetryHandles returns the installed tracer/metrics pair.
+func telemetryHandles() (*telemetry.Tracer, *telemetry.Metrics) {
+	telMu.Lock()
+	defer telMu.Unlock()
+	return benchTrace, benchMet
+}

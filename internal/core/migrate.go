@@ -12,6 +12,7 @@ import (
 	"repro/internal/enclave"
 	"repro/internal/sgx"
 	"repro/internal/tcb"
+	"repro/internal/telemetry"
 )
 
 // Migration errors.
@@ -35,28 +36,41 @@ func NewDeployment(app *enclave.App, owner *Owner) *Deployment {
 	return &Deployment{App: app, Sig: sgx.SignEnclave(owner.Signer(), enclave.MeasureApp(app))}
 }
 
-// Registry maps image names to deployments on a host.
+// Registry maps image names to deployments on a host. It is sharded over
+// lock stripes keyed by app name (see striped), so lookups during
+// concurrent enclave arrivals on a many-enclave host contend only within
+// a stripe, not on one global RWMutex.
 type Registry struct {
-	mu   sync.RWMutex
-	apps map[string]*Deployment // guarded by mu
+	apps striped[*Deployment]
 }
 
 // NewRegistry creates an empty registry.
-func NewRegistry() *Registry { return &Registry{apps: make(map[string]*Deployment)} }
+func NewRegistry() *Registry { return &Registry{} }
 
-// Add registers a deployment.
+// Add registers a deployment under its app name. A duplicate name is
+// replaced atomically: a concurrent Lookup observes either the old or the
+// new deployment in full, never a mix.
 func (r *Registry) Add(d *Deployment) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.apps[d.App.Name] = d
+	r.apps.set(d.App.Name, d)
 }
 
-// Lookup finds a deployment by image name.
+// Lookup finds a deployment by image name. The returned pointer is a
+// stable snapshot: a later Add of the same name swaps the registry slot
+// to a different *Deployment and never mutates one already handed out.
 func (r *Registry) Lookup(name string) (*Deployment, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	d, ok := r.apps[name]
-	return d, ok
+	return r.apps.get(name)
+}
+
+// Remove deletes a deployment by image name, reporting whether it was
+// registered. In-flight migrations that already resolved the deployment
+// keep their snapshot.
+func (r *Registry) Remove(name string) bool {
+	return r.apps.delete(name)
+}
+
+// Len counts registered deployments.
+func (r *Registry) Len() int {
+	return r.apps.length()
 }
 
 // Options configures a migration.
@@ -77,6 +91,30 @@ type Options struct {
 	// BuildOptions are applied when the target rebuilds the image (e.g.
 	// backing its shared region with guest VM memory).
 	BuildOptions []enclave.BuildOption
+	// Trace, if set, is the parent span under which this migration's phase
+	// spans (core.prepare, core.dump, core.channel, core.keyrelease,
+	// core.target.*, core.restore) nest. Nil disables tracing at ~zero
+	// cost; see internal/telemetry.
+	Trace *telemetry.Span
+	// Metrics, if set, receives migration counters (migrations started,
+	// committed, aborted, checkpoint bytes). Nil disables.
+	Metrics *telemetry.Metrics
+}
+
+// span returns the parent span, tolerating a nil receiver.
+func (o *Options) span() *telemetry.Span {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// metrics returns the metrics registry, tolerating a nil receiver.
+func (o *Options) metrics() *telemetry.Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
 }
 
 func (o *Options) pollInterval() time.Duration {
@@ -152,7 +190,9 @@ func parseImageBlob(b []byte) (name string, mr [32]byte, threads int, err error)
 // migration is cancelled in-enclave and the interrupted workers resume, so a
 // caller that sees e.g. ErrNotQuiescent does not strand the enclave with the
 // global flag raised and its workers parked forever.
-func Prepare(src *enclave.Runtime, opts *Options) (time.Duration, error) {
+func Prepare(src *enclave.Runtime, opts *Options) (_ time.Duration, err error) {
+	sp := opts.span().Child("core.prepare", telemetry.String("enclave", src.App().Name))
+	defer func() { sp.Fail(err) }()
 	start := time.Now()
 	src.RequestMigration()
 	if _, err := src.CtlCall(enclave.SelCtlMigrateBegin); err != nil {
@@ -188,7 +228,9 @@ func Prepare(src *enclave.Runtime, opts *Options) (time.Duration, error) {
 
 // Dump produces the encrypted checkpoint blob from a prepared source
 // enclave (two-phase checkpointing phase 2).
-func Dump(src *enclave.Runtime, opts *Options) ([]byte, time.Duration, error) {
+func Dump(src *enclave.Runtime, opts *Options) (_ []byte, _ time.Duration, err error) {
+	sp := opts.span().Child("core.dump", telemetry.String("enclave", src.App().Name))
+	defer func() { sp.Fail(err) }()
 	start := time.Now()
 	res, err := src.CtlCall(enclave.SelCtlMigrateDump, enclave.SharedCkptOff)
 	if err != nil {
@@ -198,6 +240,8 @@ func Dump(src *enclave.Runtime, opts *Options) ([]byte, time.Duration, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	sp.Annotate(telemetry.Int("checkpoint_bytes", len(blob)))
+	opts.metrics().Counter("core.checkpoint.bytes").Add(int64(len(blob)))
 	return blob, time.Since(start), nil
 }
 
@@ -278,6 +322,13 @@ func MigrateOutChannel(src *enclave.Runtime, blob []byte, t Transport, opts *Opt
 }
 
 func migrateOutChannel(src *enclave.Runtime, blob []byte, t Transport, opts *Options, rep SourceReport, start time.Time) (_ *PreparedSource, err error) {
+	mode := "remote-attest"
+	if opts.Agent != nil {
+		mode = "agent"
+	}
+	sp := opts.span().Child("core.channel",
+		telemetry.String("enclave", src.App().Name), telemetry.String("mode", mode))
+	defer func() { sp.Fail(err) }()
 	defer func() {
 		if err != nil {
 			if cErr := Cancel(src); cErr != nil {
@@ -326,6 +377,17 @@ func migrateOutChannel(src *enclave.Runtime, blob []byte, t Transport, opts *Opt
 // cancel the migration and the enclave resumes; afterwards the instance is
 // gone either way (the paper accepts the loss, never a fork).
 func (ps *PreparedSource) Release() (_ SourceReport, err error) {
+	sp := ps.opts.span().Child("core.keyrelease",
+		telemetry.String("enclave", ps.src.App().Name))
+	defer func() {
+		sp.Fail(err)
+		m := ps.opts.metrics()
+		if err != nil {
+			m.Counter("core.migrations.aborted").Inc()
+		} else {
+			m.Counter("core.migrations.committed").Inc()
+		}
+	}()
 	released := false
 	defer func() {
 		if err != nil && !released {
@@ -487,7 +549,9 @@ func (pt *PreparedTarget) Runtime() *enclave.Runtime { return pt.rt }
 // the key delivery and restore: receive image + checkpoint, build the virgin
 // enclave, and run the attested channel. Every error path destroys the
 // enclave it built.
-func MigrateInPrepare(host *enclave.Host, reg *Registry, t Transport, opts *Options) (*PreparedTarget, error) {
+func MigrateInPrepare(host *enclave.Host, reg *Registry, t Transport, opts *Options) (_ *PreparedTarget, err error) {
+	sp := opts.span().Child("core.target.prepare")
+	defer func() { sp.Fail(err) }()
 	imgMsg, err := recvKind(t, MsgImage)
 	if err != nil {
 		return nil, err
@@ -497,6 +561,7 @@ func MigrateInPrepare(host *enclave.Host, reg *Registry, t Transport, opts *Opti
 		abort(t, "malformed image message")
 		return nil, err
 	}
+	sp.Annotate(telemetry.String("enclave", name))
 	dep, ok := reg.Lookup(name)
 	if !ok {
 		abort(t, "unknown image")
@@ -545,7 +610,10 @@ func MigrateInPrepare(host *enclave.Host, reg *Registry, t Transport, opts *Opti
 // rebuild, memory restore, re-entry, in-enclave verification), and
 // acknowledges the source with MsgDone. On failure the target enclave is
 // destroyed.
-func (pt *PreparedTarget) Finish() (*Incoming, error) {
+func (pt *PreparedTarget) Finish() (_ *Incoming, err error) {
+	sp := pt.opts.span().Child("core.target.finish",
+		telemetry.String("enclave", pt.rt.App().Name))
+	defer func() { sp.Fail(err) }()
 	fail := func(err error) (*Incoming, error) {
 		// Destroying also unblocks any ResumeWorker goroutines parked in the
 		// spin region; their results land in the buffered channel.
@@ -664,10 +732,13 @@ func RestoreOwnerKeyed(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob [
 	return restore(rt, hdr, blob, true, opts)
 }
 
-func restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, ownerKeyed bool, opts *Options) (*Incoming, error) {
+func restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, ownerKeyed bool, opts *Options) (_ *Incoming, err error) {
 	if opts == nil {
 		opts = &Options{}
 	}
+	sp := opts.span().Child("core.restore",
+		telemetry.String("enclave", rt.App().Name), telemetry.Int("checkpoint_bytes", len(blob)))
+	defer func() { sp.Fail(err) }()
 	restoreStart := time.Now()
 	// Step-3a: the untrusted runtime rebuilds CSSA by forced AEX cycles.
 	if err := rt.RebuildCSSA(hdr.MigK); err != nil {
@@ -726,6 +797,7 @@ func restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, own
 		return nil, fmt.Errorf("%w: %v", enclave.ErrVerifyFailed, err)
 	}
 	verifyTime := time.Since(verifyStart)
+	sp.Annotate(telemetry.Duration("restore", restoreTime), telemetry.Duration("verify", verifyTime))
 
 	return &Incoming{
 		Runtime:     rt,

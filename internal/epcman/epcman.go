@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/sgx"
+	"repro/internal/telemetry"
 )
 
 // ErrNoFrames means the manager has no frame to hand out and nothing it can
@@ -71,6 +72,14 @@ type Manager struct {
 
 	evictions int // guarded by mu
 	reloads   int // guarded by mu
+
+	// Telemetry instruments, cached once in SetMetrics so mutating paths
+	// never take the registry lock while holding mu. All nil (and their
+	// methods no-ops) until SetMetrics is called with a live registry.
+	framesUsed *telemetry.Gauge   // guarded by mu
+	framesFree *telemetry.Gauge   // guarded by mu
+	evictCtr   *telemetry.Counter // guarded by mu
+	reloadCtr  *telemetry.Counter // guarded by mu
 }
 
 // FrameSource supplies extra EPC frames on demand; it returns an error when
@@ -122,7 +131,9 @@ func (g *Manager) FreeFrames() int {
 func (g *Manager) AllocFrame() (sgx.FrameIndex, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.allocLocked()
+	f, err := g.allocLocked()
+	g.publishFramesLocked()
+	return f, err
 }
 
 // SetFrameSource installs a hypervisor-backed frame supplier.
@@ -130,6 +141,32 @@ func (g *Manager) SetFrameSource(src FrameSource) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.source = src
+}
+
+// SetMetrics publishes the manager's frame accounting to a telemetry
+// registry: gauges epcman.frames.used / epcman.frames.free track pool
+// occupancy, counters epcman.evictions / epcman.reloads mirror Stats().
+// A nil registry leaves the manager dark (the instruments stay nil).
+func (g *Manager) SetMetrics(m *telemetry.Metrics) {
+	// Registry lookups happen before taking mu so mu never nests inside
+	// the registry lock (or vice versa).
+	used := m.Gauge("epcman.frames.used")
+	free := m.Gauge("epcman.frames.free")
+	evict := m.Counter("epcman.evictions")
+	reload := m.Counter("epcman.reloads")
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.framesUsed = used
+	g.framesFree = free
+	g.evictCtr = evict
+	g.reloadCtr = reload
+	g.publishFramesLocked()
+}
+
+// publishFramesLocked refreshes the occupancy gauges; no-op when dark.
+func (g *Manager) publishFramesLocked() {
+	g.framesFree.Set(int64(len(g.free)))
+	g.framesUsed.Set(int64(len(g.frames) - len(g.free)))
 }
 
 func (g *Manager) allocLocked() (sgx.FrameIndex, error) {
@@ -227,6 +264,7 @@ func (g *Manager) evictAtLocked(idx int) error {
 	g.resident = append(g.resident[:idx], g.resident[idx+1:]...)
 	g.free = append(g.free, victim.frame)
 	g.evictions++
+	g.evictCtr.Inc()
 	return nil
 }
 
@@ -298,6 +336,8 @@ func (g *Manager) FaultIn(eid sgx.EnclaveID, lin sgx.PageNum) error {
 	delete(g.evicted, key)
 	g.resident = append(g.resident, residentPage{key: key, frame: f, referenced: true})
 	g.reloads++
+	g.reloadCtr.Inc()
+	g.publishFramesLocked()
 	return nil
 }
 
@@ -336,6 +376,7 @@ func (g *Manager) ForgetEnclave(eid sgx.EnclaveID) {
 		}
 	}
 	g.clock = 0
+	g.publishFramesLocked()
 }
 
 // ReturnFrame puts an explicitly freed frame (e.g. after EREMOVE of a TCS)
@@ -344,6 +385,7 @@ func (g *Manager) ReturnFrame(f sgx.FrameIndex) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.free = append(g.free, f)
+	g.publishFramesLocked()
 }
 
 // EnsureResident pages in every evicted page of an enclave (used before

@@ -18,6 +18,7 @@ import (
 	"repro/internal/enclave"
 	"repro/internal/sgx"
 	"repro/internal/tcb"
+	"repro/internal/telemetry"
 )
 
 // Errors.
@@ -142,6 +143,13 @@ func ctrlFail(c *enclave.Call, code uint64) enclave.AppStatus {
 type Platform struct {
 	Host *enclave.Host
 	Ctrl *enclave.Runtime
+
+	// Trace, if set, parents the hwext.* spans MigrateTransparent emits on
+	// the destination platform (nil leaves tracing off).
+	Trace *telemetry.Span
+	// Metrics, if set, receives the swap-stream instruments: gauge
+	// hwext.swapq.chunks, counters hwext.pages.sealed / hwext.pages.installed.
+	Metrics *telemetry.Metrics
 }
 
 // NewPlatform builds and registers the control enclave on a machine created
@@ -238,10 +246,17 @@ const swapStreamQueue = 4
 // sealing page k overlaps installing page k-1. The enclave's threads —
 // including ones interrupted mid-ecall — resume from their SSA contexts on
 // the target with plain ERESUME. Returns the adopted target runtime.
-func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployment) (*enclave.Runtime, error) {
+func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployment) (_ *enclave.Runtime, err error) {
 	srcM := src.Machine()
 	dstM := dstP.Host.Mgr.Machine()
 	eid := src.EnclaveID()
+
+	mig := dstP.Trace.Child("hwext.migrate", telemetry.String("enclave", dep.App.Name))
+	defer func() { mig.Fail(err) }()
+	met := dstP.Metrics
+	qGauge := met.Gauge("hwext.swapq.chunks")
+	sealedCtr := met.Counter("hwext.pages.sealed")
+	installCtr := met.Counter("hwext.pages.installed")
 
 	// The extension requires full residency (the driver pages everything in
 	// first; evicted pages could instead travel via ECHANGEOUT/ECHANGEIN).
@@ -260,29 +275,38 @@ func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployme
 		return nil, err
 	}
 	sort.Slice(lins, func(i, j int) bool { return lins[i] < lins[j] })
+	mig.Annotate(telemetry.Int("pages", len(lins)))
 
 	// Producer: seal pages in chunks. It parks when the queue is full and
 	// reports its outcome exactly once on prodErr.
 	chunks := make(chan []*sgx.MigratedPage, swapStreamQueue)
 	prodErr := make(chan error, 1)
+	outSp := mig.Fork("hwext.eswpout")
 	go func() {
 		defer close(chunks)
 		batch := make([]*sgx.MigratedPage, 0, swapChunkPages)
 		for _, lin := range lins {
 			mp, err := srcM.ESWPOUT(eid, lin)
 			if err != nil {
-				prodErr <- fmt.Errorf("hwext: ESWPOUT page %d: %w", lin, err)
+				e := fmt.Errorf("hwext: ESWPOUT page %d: %w", lin, err)
+				outSp.Fail(e)
+				prodErr <- e
 				return
 			}
 			batch = append(batch, mp)
 			if len(batch) == swapChunkPages {
 				chunks <- batch
+				sealedCtr.Add(int64(len(batch)))
+				qGauge.Set(int64(len(chunks)))
 				batch = make([]*sgx.MigratedPage, 0, swapChunkPages)
 			}
 		}
 		if len(batch) > 0 {
 			chunks <- batch
+			sealedCtr.Add(int64(len(batch)))
+			qGauge.Set(int64(len(chunks)))
 		}
+		outSp.End()
 		prodErr <- nil
 	}()
 	// fail drains the stream so the producer never stays parked on a dead
@@ -294,7 +318,11 @@ func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployme
 		return nil, err
 	}
 
-	// Consumer: install chunks on the target as they arrive.
+	// Consumer: install chunks on the target as they arrive. The deferred
+	// End keeps the span balanced on the fail paths; success ends it
+	// explicitly once the stream is fully applied.
+	inSp := mig.Child("hwext.eswpin")
+	defer inSp.End()
 	secsFrame, err := dstP.Host.Mgr.AllocFrame()
 	if err != nil {
 		return fail(err)
@@ -316,10 +344,13 @@ func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployme
 				dstP.Host.Mgr.NotePage(eid2, mp.Lin, f)
 			}
 		}
+		installCtr.Add(int64(len(batch)))
+		qGauge.Set(int64(len(chunks)))
 	}
 	if err := <-prodErr; err != nil {
 		return nil, err
 	}
+	inSp.End()
 	if err := dstM.EMIGRATEDONE(eid2); err != nil {
 		return nil, fmt.Errorf("hwext: EMIGRATEDONE: %w", err)
 	}

@@ -20,6 +20,9 @@
 //   - lockorder: observed mutex nesting (plus call summaries) must form an
 //     acyclic acquisition order, and every "guarded by" annotation must
 //     name a real sibling mutex.
+//   - spanpair: every locally-owned telemetry span (Begin/Child/Fork) must
+//     be ended with a deferred End/Fail or an End/Fail before each return,
+//     so no migration span leaks open in the tracer.
 //
 // The driver is stdlib-only (go/parser + go/types with a recursive source
 // importer) so go.mod stays dependency-free. Individual findings are
@@ -96,6 +99,11 @@ type Config struct {
 	// round-trip test: some in-package Test/Fuzz function that mentions the
 	// type and calls both codec functions.
 	WireStructs []WireStruct
+
+	// SpanTypes ("importpath.TypeName") are telemetry span types whose
+	// Begin/Child/Fork results must be paired with End/Fail in the creating
+	// function unless the span escapes it (spanpair rule).
+	SpanTypes []string
 }
 
 // WireStruct names one wire-format struct and its codec functions for the
@@ -200,6 +208,9 @@ func DefaultConfig(modPath string) *Config {
 				Decode: modPath + "/internal/enclave.UnmarshalHeader",
 			},
 		},
+		SpanTypes: []string{
+			modPath + "/internal/telemetry.Span",
+		},
 	}
 }
 
@@ -222,6 +233,7 @@ func Checkers(cfg *Config) []Checker {
 		&plainFlow{cfg: cfg},
 		&wireProto{cfg: cfg},
 		&lockOrder{},
+		&spanPair{cfg: cfg},
 	}
 }
 

@@ -116,6 +116,21 @@ func TestWireProtoFixture(t *testing.T) {
 	}
 }
 
+func TestSpanPairFixture(t *testing.T) {
+	got := runFixture(t, "spans", &Config{
+		SpanTypes: []string{"fxspan/tel.Span"},
+	})
+	want := []string{
+		"app.go:71: spanpair", // BadNeverEnded forgets the span entirely
+		"app.go:78: spanpair", // BadEarlyReturn leaks on the error return
+		"app.go:90: spanpair", // BadChild ends root but not the child
+		"app.go:98: spanpair", // BadFork leaks the forked span
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
 func TestLockOrderFixture(t *testing.T) {
 	got := runFixture(t, "lockord", &Config{})
 	want := []string{

@@ -123,6 +123,12 @@ func (ld *loader) load(importPath, dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
+		// Honor //go:build constraints under the default build context, so
+		// mutually exclusive tagged files (e.g. a race / !race pair) don't
+		// both land in the same type-check.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
 		if strings.HasSuffix(name, "_test.go") {
 			testNames = append(testNames, name)
 		} else {

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// spanPair enforces the telemetry span lifecycle: a span started with
+// Begin/Child/Fork and kept local to the function must be ended — by a
+// deferred End/Fail, or by an End/Fail reached before every return. A span
+// that never ends stays "live" forever: it leaks in the tracer's live
+// table and renders as a never-closing slice in the Chrome trace.
+//
+// Spans that escape the creating function (stored in a struct, passed to a
+// call, returned, captured by a function literal) are skipped — ownership
+// moved, so some other code ends them; the concurrent patterns in vmm and
+// hwext rely on exactly that. Test files are skipped too: tests leave
+// spans deliberately half-open to probe the live-export path.
+type spanPair struct{ cfg *Config }
+
+func (*spanPair) Name() string { return "spanpair" }
+
+func (*spanPair) Doc() string {
+	return `every locally-owned telemetry span (Begin/Child/Fork) must be ended with a deferred End/Fail or an End/Fail before each return`
+}
+
+// Span methods that start a sub-span, read it, or end it. Any use of the
+// span variable other than these (or as their receiver) counts as an
+// escape.
+var (
+	spanStarters = map[string]bool{"Begin": true, "Child": true, "Fork": true}
+	spanEnders   = map[string]bool{"End": true, "Fail": true}
+	spanBenign   = map[string]bool{"Annotate": true, "Child": true, "Fork": true, "Duration": true}
+)
+
+func (sp *spanPair) Check(prog *Program, pkg *Package) []Diagnostic {
+	if len(sp.cfg.SpanTypes) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if pkg.TestFile[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, sp.checkFunc(prog, pkg, fd)...)
+		}
+	}
+	return diags
+}
+
+// spanUse accumulates everything checkFunc learns about one span variable.
+type spanUse struct {
+	obj     *types.Var
+	declPos token.Pos
+	enders  []token.Pos // End/Fail receiver positions outside function literals
+	defers  bool        // a direct `defer v.End()` / `defer v.Fail(...)` exists
+	escaped bool
+}
+
+func (sp *spanPair) checkFunc(prog *Program, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	// Pass 1: find `v := <span starter>()` creations of local span vars.
+	var uses []*spanUse
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !sp.isStarterCall(pkg, call) {
+			return true
+		}
+		if obj, ok := pkg.Info.Defs[id].(*types.Var); ok {
+			uses = append(uses, &spanUse{obj: obj, declPos: id.Pos()})
+		}
+		return true
+	})
+	if len(uses) == 0 {
+		return nil
+	}
+	byObj := make(map[*types.Var]*spanUse, len(uses))
+	for _, u := range uses {
+		byObj[u.obj] = u
+	}
+
+	// Function literals transfer ownership: any use inside one is an
+	// escape, so collect their ranges to classify positions.
+	var litRanges [][2]token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			litRanges = append(litRanges, [2]token.Pos{fl.Pos(), fl.End()})
+		}
+		return true
+	})
+	inLit := func(pos token.Pos) bool {
+		for _, r := range litRanges {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: account for every receiver position of a span-method call
+	// (outside literals), recording enders.
+	accounted := make(map[token.Pos]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, _ := pkg.Info.Uses[id].(*types.Var)
+		u := byObj[obj]
+		if u == nil || inLit(id.Pos()) {
+			return true
+		}
+		switch name := sel.Sel.Name; {
+		case spanEnders[name]:
+			u.enders = append(u.enders, id.Pos())
+			accounted[id.Pos()] = true
+		case spanBenign[name]:
+			accounted[id.Pos()] = true
+		}
+		return true
+	})
+
+	// Pass 3: deferred enders and escapes, then returns after creation.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok || inLit(ds.Pos()) {
+			return true
+		}
+		if sel, ok := ds.Call.Fun.(*ast.SelectorExpr); ok && spanEnders[sel.Sel.Name] {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if obj, _ := pkg.Info.Uses[id].(*types.Var); obj != nil && byObj[obj] != nil {
+					byObj[obj].defers = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || accounted[id.Pos()] || id.Pos() == token.NoPos {
+			return true
+		}
+		obj, _ := pkg.Info.Uses[id].(*types.Var)
+		if u := byObj[obj]; u != nil && id.Pos() != u.declPos {
+			u.escaped = true
+		}
+		return true
+	})
+	var returns []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok && !inLit(r.Pos()) {
+			returns = append(returns, r.Pos())
+		}
+		return true
+	})
+
+	var diags []Diagnostic
+	for _, u := range uses {
+		if u.escaped || u.defers {
+			continue
+		}
+		if len(u.enders) == 0 {
+			diags = append(diags, Diagnostic{
+				Pos:  prog.Fset.Position(u.declPos),
+				Rule: "spanpair",
+				Message: fmt.Sprintf("span %s is started but never ended: defer %s.End() (or Fail) or end it on every path",
+					u.obj.Name(), u.obj.Name()),
+			})
+			continue
+		}
+		// No deferred ender: every return after the creation must be
+		// lexically preceded by some End/Fail (a straight-line
+		// approximation of "ended on all paths" — good enough to catch
+		// early returns that skip the End).
+		for _, ret := range returns {
+			if ret <= u.declPos {
+				continue
+			}
+			ended := false
+			for _, e := range u.enders {
+				if e < ret {
+					ended = true
+					break
+				}
+			}
+			if !ended {
+				diags = append(diags, Diagnostic{
+					Pos:  prog.Fset.Position(u.declPos),
+					Rule: "spanpair",
+					Message: fmt.Sprintf("span %s is not ended before the return at line %d: defer %s.End() (or Fail) instead",
+						u.obj.Name(), prog.Fset.Position(ret).Line, u.obj.Name()),
+				})
+				break
+			}
+		}
+	}
+	return diags
+}
+
+// isStarterCall reports whether call is Begin/Child/Fork returning a
+// configured span type.
+func (sp *spanPair) isStarterCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !spanStarters[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	return sp.isSpanType(tv.Type)
+}
+
+func (sp *spanPair) isSpanType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	for _, want := range sp.cfg.SpanTypes {
+		if full == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module fxspan
+
+go 1.22

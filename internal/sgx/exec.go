@@ -94,6 +94,7 @@ func (m *Machine) EENTER(lp *LP, eid EnclaveID, tcsLin PageNum, args []uint64, o
 	ctx.R[RegCSSA] = uint64(t.cssa)
 	t.active = true
 	m.mu.Unlock()
+	m.eenterCount.Add(1)
 	return m.run(lp, e, t, tcsLin, &ctx, outside)
 }
 
@@ -130,6 +131,7 @@ func (m *Machine) ERESUME(lp *LP, eid EnclaveID, tcsLin PageNum, outside Outside
 	t.cssa--
 	t.active = true
 	m.mu.Unlock()
+	m.eresumeCount.Add(1)
 	return m.run(lp, e, t, tcsLin, &ctx, outside)
 }
 
@@ -216,6 +218,7 @@ func (m *Machine) deactivate(t *tcs) {
 
 // aex saves ctx into SSA[CSSA], increments CSSA and deactivates the thread.
 func (m *Machine) aex(e *enclaveControl, t *tcs, ctx *Context) error {
+	m.aexCount.Add(1)
 	ssaLin := t.params.OSSA + PageNum(t.cssa)
 	// Ensure the SSA frame is resident (fault it in if the driver evicted it).
 	for attempt := 0; ; attempt++ {

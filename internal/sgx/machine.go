@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/tcb"
 )
@@ -172,6 +173,19 @@ type Machine struct {
 	// back in when enclave execution touches them. It is called without
 	// the machine lock held.
 	faultHandler FaultHandler
+
+	// Entry/exit event counters (atomic, not mu: they sit on the enter
+	// hot path). Untrusted observability code reads them via ExecCounters.
+	eenterCount  atomic.Uint64
+	eresumeCount atomic.Uint64
+	aexCount     atomic.Uint64
+}
+
+// ExecCounters returns the machine-lifetime totals of EENTER and ERESUME
+// entries and asynchronous exits (AEX). The hypervisor/telemetry layer
+// polls them; they are monotonic and never reset.
+func (m *Machine) ExecCounters() (eenter, eresume, aex uint64) {
+	return m.eenterCount.Load(), m.eresumeCount.Load(), m.aexCount.Load()
 }
 
 // FaultHandler is invoked when enclave execution touches a non-resident

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Handler serves the live observability endpoints:
+//
+//	GET /metrics      plain-text snapshot of every instrument
+//	GET /debug/trace  Chrome trace-event JSON of every span so far
+//	GET /             a short index
+//
+// cmd/sgxhost mounts it behind the -telemetry-addr flag. Either argument
+// may be nil; the endpoints then serve the empty disabled forms, so a
+// scraper never sees a 500 just because a subsystem is dark.
+func Handler(tr *Tracer, m *Metrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = m.WriteText(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		_ = tr.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "sgxmig telemetry\n\n/metrics      instrument snapshot\n/debug/trace  Chrome trace JSON (%d spans done, %d running)\n",
+			len(tr.Completed()), tr.ActiveCount())
+	})
+	return mux
+}

@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named instruments. A nil *Metrics hands out nil
+// instruments, and every instrument method is a safe no-op on a nil
+// receiver, so instrumented code looks up instruments once and uses them
+// unconditionally on hot paths.
+//
+// Instruments are created on first lookup and live for the registry's
+// lifetime; repeated lookups of the same name return the same instrument.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
+}
+
+// NewMetrics returns an enabled registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named monotonic counter, creating it if needed.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// upper-bound thresholds if needed. The first registration wins: later
+// lookups return the existing histogram regardless of bounds, so callers
+// agree on bucket layout by construction.
+func (m *Metrics) Histogram(name string, bounds []int64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue occupancy, frames in use).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts int64 observations into fixed buckets. Bucket i counts
+// observations v with v <= bounds[i] (and greater than every earlier
+// bound); one extra overflow bucket counts the rest. Observation is a
+// single atomic add, so concurrent observers never block each other.
+type Histogram struct {
+	bounds []int64        // immutable after NewHistogram
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64
+	total  atomic.Int64
+}
+
+// NewHistogram builds a detached histogram (outside any registry) with the
+// given sorted upper bounds. Useful for per-worker histograms that are
+// merged into a registry-owned one afterwards.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe files one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Merge folds o's observations into h. The bucket layouts must match.
+// A nil h or o is a no-op.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == nil || o == nil {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("telemetry: merge of mismatched histograms (%d vs %d buckets)", len(h.bounds), len(o.bounds))
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return fmt.Errorf("telemetry: merge of mismatched histograms (bound %d: %d vs %d)", i, b, o.bounds[i])
+		}
+	}
+	for i := range o.counts {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	h.sum.Add(o.sum.Load())
+	h.total.Add(o.total.Load())
+	return nil
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time copy for export:
+// each bucket is read atomically, though a concurrent Observe may land
+// between bucket reads.
+type HistogramSnapshot struct {
+	Bounds []int64
+	Counts []int64 // len(Bounds)+1; last is overflow
+	Sum    int64
+	Count  int64
+}
+
+// Snapshot copies the histogram's current contents.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.total.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// WriteText dumps every instrument as sorted plain text, one line per
+// scalar and an indented block per histogram — the /metrics wire format.
+func (m *Metrics) WriteText(w io.Writer) error {
+	if m == nil {
+		_, err := fmt.Fprintln(w, "# telemetry disabled")
+		return err
+	}
+	m.mu.Lock()
+	counters := make(map[string]*Counter, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(m.hists))
+	for k, v := range m.hists {
+		hists[k] = v
+	}
+	m.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", name, gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		s := hists[name].Snapshot()
+		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%d\n", name, s.Count, s.Sum); err != nil {
+			return err
+		}
+		for i, b := range s.Bounds {
+			if _, err := fmt.Fprintf(w, "  le %d: %d\n", b, s.Counts[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  le +inf: %d\n", s.Counts[len(s.Counts)-1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,52 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkNopTracer measures the disabled-telemetry cost exactly as the
+// page-copy path pays it: one Begin/End pair plus one histogram
+// observation per iteration, all on nil receivers.
+func BenchmarkNopTracer(b *testing.B) {
+	var tr *Tracer
+	var m *Metrics
+	h := m.Histogram("vmm.pagecopy.ns", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin("page-copy")
+		h.Observe(int64(i))
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSpan is the enabled counterpart, for the docs' overhead
+// table; no assertion, just a number.
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New()
+	root := tr.Begin("bench")
+	defer root.End()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root.Child("page-copy").End()
+	}
+}
+
+// TestNopTracerOverhead is the acceptance gate: the no-op tracer must add
+// under 5ns per operation to the page-copy path. Skipped under the race
+// detector and -short, where wall-clock numbers mean nothing.
+func TestNopTracerOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector skews timings")
+	}
+	if testing.Short() {
+		t.Skip("timing assertion; skipped in -short")
+	}
+	best := int64(1 << 62)
+	for i := 0; i < 3; i++ {
+		r := testing.Benchmark(BenchmarkNopTracer)
+		if ns := r.NsPerOp(); ns < best {
+			best = ns
+		}
+	}
+	if best >= 5 {
+		t.Errorf("no-op tracer costs %dns/op on the page-copy path, want <5ns", best)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports whether the race detector instruments this build;
+// the no-op overhead assertion is meaningless with its ~10x slowdown.
+const raceEnabled = true

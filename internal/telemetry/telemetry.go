@@ -1,0 +1,253 @@
+// Package telemetry is the repository's zero-dependency observability
+// layer: a goroutine-safe span tracer and a metrics registry (counters,
+// gauges, fixed-bucket histograms), with exporters for the Chrome
+// trace-event JSON format (chrome://tracing, https://ui.perfetto.dev), a
+// plain-text snapshot dump, and a live HTTP handler.
+//
+// The disabled state is the nil pointer: every method on *Tracer, *Span
+// and the metric instruments is a safe no-op on a nil receiver, so
+// instrumented code threads a possibly-nil handle through hot paths
+// without branching, and the disabled cost is a couple of nil checks
+// (see BenchmarkNopTracer). There is no global state; each migration,
+// benchmark run or daemon owns its own Tracer/Metrics pair.
+//
+// Span taxonomy, metric names and how to open a trace in Perfetto are
+// documented in docs/TELEMETRY.md.
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are strings so the
+// exporters stay allocation-simple; use the constructors for other types.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// String builds a string attribute.
+func String(key, val string) Attr { return Attr{Key: key, Val: val} }
+
+// Int builds an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Val: strconv.Itoa(v)} }
+
+// Int64 builds a 64-bit integer attribute.
+func Int64(key string, v int64) Attr { return Attr{Key: key, Val: strconv.FormatInt(v, 10)} }
+
+// Duration builds a duration attribute.
+func Duration(key string, d time.Duration) Attr { return Attr{Key: key, Val: d.String()} }
+
+// SpanRecord is one finished (or, during live export, still-running) span
+// as the exporters and tests see it. Start is the offset from the
+// tracer's epoch; Dur is zero while the span is running.
+type SpanRecord struct {
+	Name   string
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Track  uint64 // rendering row; children inherit it, Fork opens a new one
+	Start  time.Duration
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Tracer collects spans. A nil *Tracer is the no-op tracer: Begin returns
+// a nil *Span and the whole span API degenerates to nil checks.
+type Tracer struct {
+	epoch  time.Time
+	ids    atomic.Uint64
+	tracks atomic.Uint64
+
+	mu   sync.Mutex
+	done []SpanRecord     // guarded by mu
+	live map[uint64]*Span // guarded by mu
+}
+
+// New returns an enabled tracer whose span timestamps are relative to now.
+func New() *Tracer {
+	return &Tracer{epoch: time.Now(), live: make(map[uint64]*Span)}
+}
+
+// Begin starts a root span on a fresh track.
+func (t *Tracer) Begin(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, 0, t.tracks.Add(1), attrs)
+}
+
+func (t *Tracer) newSpan(name string, parent, track uint64, attrs []Attr) *Span {
+	s := &Span{
+		tr:     t,
+		name:   name,
+		id:     t.ids.Add(1),
+		parent: parent,
+		track:  track,
+		start:  time.Now(),
+		attrs:  append([]Attr(nil), attrs...),
+	}
+	t.mu.Lock()
+	t.live[s.id] = s
+	t.mu.Unlock()
+	return s
+}
+
+// record files a finished span. Called by Span.End without Span.mu held,
+// so the only lock nesting in the package is none at all.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	delete(t.live, rec.ID)
+	t.done = append(t.done, rec)
+	t.mu.Unlock()
+}
+
+// Completed returns a copy of every finished span, in End order.
+func (t *Tracer) Completed() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.done...)
+}
+
+// ByName returns the finished spans with the given name, in End order.
+func (t *Tracer) ByName(name string) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanRecord
+	for _, r := range t.done {
+		if r.Name == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ActiveCount returns how many spans have begun but not ended — useful for
+// leak checks in tests and for the /debug/trace status line.
+func (t *Tracer) ActiveCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.live)
+}
+
+// snapshot copies the export state without holding any span lock.
+func (t *Tracer) snapshot() (done []SpanRecord, live []*Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	done = append([]SpanRecord(nil), t.done...)
+	live = make([]*Span, 0, len(t.live))
+	for _, s := range t.live {
+		live = append(live, s)
+	}
+	return done, live
+}
+
+// Span is one timed operation. Spans nest via Child (same rendering track)
+// and Fork (new track, for work that overlaps the parent on another
+// goroutine). All methods are safe on a nil receiver and End is
+// idempotent, so error paths can End a span a second time harmlessly.
+type Span struct {
+	tr     *Tracer
+	name   string
+	id     uint64
+	parent uint64
+	track  uint64
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr        // guarded by mu
+	ended bool          // guarded by mu
+	dur   time.Duration // guarded by mu
+}
+
+// Child starts a sub-span on the parent's track: sequential phases of the
+// same logical activity.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.id, s.track, attrs)
+}
+
+// Fork starts a sub-span on a fresh track: concurrent work (a goroutine)
+// whose interval overlaps the parent, so the trace viewer renders it on
+// its own row instead of mis-nesting it.
+func (s *Span) Fork(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.id, s.tr.tracks.Add(1), attrs)
+}
+
+// Annotate appends attributes to a running span.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End finishes the span and files it with the tracer. Idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	rec := s.recordLocked()
+	s.mu.Unlock()
+	s.tr.record(rec)
+}
+
+// Fail annotates the span with err (when non-nil) and ends it. Fault
+// paths use it so aborted phases stay visible in the trace.
+func (s *Span) Fail(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.Annotate(Attr{Key: "error", Val: err.Error()})
+	}
+	s.End()
+}
+
+// Duration returns the measured duration: zero until End.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// recordLocked builds the span's export record; s.mu must be held.
+func (s *Span) recordLocked() SpanRecord {
+	return SpanRecord{
+		Name:   s.name,
+		ID:     s.id,
+		Parent: s.parent,
+		Track:  s.track,
+		Start:  s.start.Sub(s.tr.epoch),
+		Dur:    s.dur,
+		Attrs:  append([]Attr(nil), s.attrs...),
+	}
+}

@@ -1,0 +1,399 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := New()
+	root := tr.Begin("root", String("vm", "tenant"))
+	child := root.Child("child")
+	fork := root.Fork("fork", Int("round", 3))
+	time.Sleep(time.Millisecond)
+	fork.End()
+	child.End()
+	root.Annotate(Duration("total", 5*time.Millisecond))
+	root.End()
+
+	recs := tr.Completed()
+	if len(recs) != 3 {
+		t.Fatalf("completed %d spans, want 3", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	r, c, f := byName["root"], byName["child"], byName["fork"]
+	if c.Parent != r.ID || f.Parent != r.ID {
+		t.Errorf("parent links wrong: root=%d child.parent=%d fork.parent=%d", r.ID, c.Parent, f.Parent)
+	}
+	if c.Track != r.Track {
+		t.Errorf("Child should inherit the parent track: %d vs %d", c.Track, r.Track)
+	}
+	if f.Track == r.Track {
+		t.Errorf("Fork should open a new track, got the parent's %d", f.Track)
+	}
+	if r.Dur <= 0 || f.Dur <= 0 {
+		t.Errorf("durations not measured: root=%v fork=%v", r.Dur, f.Dur)
+	}
+	if got := len(r.Attrs); got != 2 {
+		t.Errorf("root has %d attrs, want begin attr + annotation", got)
+	}
+	if tr.ActiveCount() != 0 {
+		t.Errorf("%d spans still active after ending all", tr.ActiveCount())
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := New()
+	sp := tr.Begin("once")
+	sp.End()
+	d := sp.Duration()
+	sp.Fail(fmt.Errorf("late error must not re-file the span"))
+	sp.End()
+	if got := len(tr.Completed()); got != 1 {
+		t.Fatalf("span filed %d times, want 1", got)
+	}
+	if sp.Duration() != d {
+		t.Errorf("second End changed the duration")
+	}
+}
+
+func TestFailAnnotatesError(t *testing.T) {
+	tr := New()
+	sp := tr.Begin("doomed")
+	sp.Fail(fmt.Errorf("quiesce timeout"))
+	recs := tr.ByName("doomed")
+	if len(recs) != 1 {
+		t.Fatalf("want 1 record, got %d", len(recs))
+	}
+	found := false
+	for _, a := range recs[0].Attrs {
+		if a.Key == "error" && a.Val == "quiesce timeout" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Fail did not annotate the error: %v", recs[0].Attrs)
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x", String("k", "v"))
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	sp.Annotate(Int("n", 1))
+	sp.Fail(fmt.Errorf("ignored"))
+	sp.End()
+	if sp.Child("c") != nil || sp.Fork("f") != nil {
+		t.Error("nil span must produce nil children")
+	}
+	if sp.Duration() != 0 || tr.ActiveCount() != 0 || tr.Completed() != nil || tr.ByName("x") != nil {
+		t.Error("nil accessors must return zero values")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer export: %v", err)
+	}
+	var out struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil tracer export is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 0 {
+		t.Errorf("nil tracer exported %d events", len(out.TraceEvents))
+	}
+}
+
+func TestNilMetricsIsNoop(t *testing.T) {
+	var m *Metrics
+	c := m.Counter("c")
+	g := m.Gauge("g")
+	h := m.Histogram("h", []int64{1, 2})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(1)
+	if err := h.Merge(NewHistogram([]int64{1, 2})); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatalf("nil WriteText: %v", err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Errorf("nil WriteText output: %q", buf.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 500, 1001, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 1, 2} // <=10, <=100, <=1000, overflow
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count %d, want 7", s.Count)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]int64{10, 100})
+	b := NewHistogram([]int64{10, 100})
+	a.Observe(5)
+	b.Observe(50)
+	b.Observe(5000)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Snapshot()
+	if s.Count != 3 || s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Errorf("merged snapshot wrong: %+v", s)
+	}
+	if err := a.Merge(NewHistogram([]int64{10})); err == nil {
+		t.Error("merge with different bucket count must fail")
+	}
+	if err := a.Merge(NewHistogram([]int64{10, 200})); err == nil {
+		t.Error("merge with different bounds must fail")
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	m := NewMetrics()
+	if m.Counter("x") != m.Counter("x") {
+		t.Error("counter identity not stable")
+	}
+	if m.Gauge("x") != m.Gauge("x") {
+		t.Error("gauge identity not stable")
+	}
+	if m.Histogram("x", []int64{1}) != m.Histogram("x", []int64{9}) {
+		t.Error("histogram identity not stable")
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("b.count").Add(2)
+	m.Counter("a.count").Inc()
+	m.Gauge("q.depth").Set(4)
+	m.Histogram("lat.ns", []int64{100, 1000}).Observe(50)
+	var one, two bytes.Buffer
+	if err := m.WriteText(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteText(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("text dump is not deterministic")
+	}
+	for _, want := range []string{
+		"counter a.count 1",
+		"counter b.count 2",
+		"gauge q.depth 4",
+		"histogram lat.ns count=1 sum=50",
+		"  le 100: 1",
+		"  le +inf: 0",
+	} {
+		if !strings.Contains(one.String(), want) {
+			t.Errorf("dump missing %q:\n%s", want, one.String())
+		}
+	}
+}
+
+// TestConcurrentSpans exercises the tracer the way the pipelined migration
+// engine does — many goroutines opening children and forks off a shared
+// root while exporters run — and is meaningful under -race.
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	root := tr.Begin("root")
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				sp := root.Fork("work", Int("worker", w))
+				sp.Annotate(Int("i", i))
+				sp.Child("inner").End()
+				sp.End()
+			}
+		}(w)
+	}
+	// Exporters race with the workers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			var buf bytes.Buffer
+			if err := tr.WriteChromeTrace(&buf); err != nil {
+				t.Errorf("export during load: %v", err)
+				return
+			}
+			_ = tr.Completed()
+			_ = tr.ActiveCount()
+		}
+	}()
+	wg.Wait()
+	root.End()
+	if got, want := len(tr.Completed()), workers*each*2+1; got != want {
+		t.Errorf("completed %d spans, want %d", got, want)
+	}
+}
+
+// TestConcurrentMetrics hammers all three instrument kinds plus merges
+// from many goroutines; meaningful under -race.
+func TestConcurrentMetrics(t *testing.T) {
+	m := NewMetrics()
+	total := NewHistogram([]int64{10, 100, 1000})
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	var mergeMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := NewHistogram([]int64{10, 100, 1000})
+			for i := 0; i < each; i++ {
+				m.Counter("ops").Inc()
+				m.Gauge("depth").Add(1)
+				m.Gauge("depth").Add(-1)
+				m.Histogram("shared", []int64{10, 100}).Observe(int64(i))
+				local.Observe(int64(i))
+			}
+			mergeMu.Lock()
+			defer mergeMu.Unlock()
+			if err := total.Merge(local); err != nil {
+				t.Errorf("merge: %v", err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Counter("ops").Value(); got != workers*each {
+		t.Errorf("ops %d, want %d", got, workers*each)
+	}
+	if got := m.Gauge("depth").Value(); got != 0 {
+		t.Errorf("depth %d, want 0", got)
+	}
+	if got := total.Snapshot().Count; got != workers*each {
+		t.Errorf("merged count %d, want %d", got, workers*each)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := New()
+	root := tr.Begin("vmm.livemigrate")
+	dump := root.Fork("vmm.dump")
+	time.Sleep(time.Millisecond)
+	dump.End()
+	running := root.Child("vmm.precopy.round", Int("round", 1))
+	_ = running // stays live: must export as a "B" event
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			TID  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", out.DisplayTimeUnit)
+	}
+	phases := map[string]string{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "X" || ev.Ph == "B" {
+			phases[ev.Name] = ev.Ph
+		}
+	}
+	if phases["vmm.dump"] != "X" {
+		t.Errorf("finished span exported as %q, want X", phases["vmm.dump"])
+	}
+	if phases["vmm.precopy.round"] != "B" {
+		t.Errorf("running span exported as %q, want B", phases["vmm.precopy.round"])
+	}
+	var metaNames []string
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "M" {
+			metaNames = append(metaNames, ev.Args["name"])
+		}
+	}
+	joined := strings.Join(metaNames, ",")
+	if !strings.Contains(joined, "sgxmig") || !strings.Contains(joined, "vmm.livemigrate") {
+		t.Errorf("metadata names missing: %v", metaNames)
+	}
+	running.End()
+}
+
+func TestHTTPHandler(t *testing.T) {
+	tr := New()
+	m := NewMetrics()
+	m.Counter("hits").Inc()
+	tr.Begin("req").End()
+	h := Handler(tr, m)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	if rec := get("/metrics"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "counter hits 1") {
+		t.Errorf("/metrics: code %d body %q", rec.Code, rec.Body.String())
+	}
+	rec := get("/debug/trace")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/trace code %d", rec.Code)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Errorf("/debug/trace not JSON: %v", err)
+	}
+	if rec := get("/"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "telemetry") {
+		t.Errorf("index: code %d body %q", rec.Code, rec.Body.String())
+	}
+	if rec := get("/nope"); rec.Code != 404 {
+		t.Errorf("unknown path code %d, want 404", rec.Code)
+	}
+
+	// Both sinks nil: endpoints still answer.
+	dark := Handler(nil, nil)
+	rec = httptest.NewRecorder()
+	dark.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Errorf("dark /metrics code %d", rec.Code)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/enclave"
+	"repro/internal/telemetry"
 )
 
 // TransportFactory lets a test interpose on the per-enclave control channels
@@ -48,6 +49,17 @@ type LiveMigrationConfig struct {
 	// Opts configures the per-enclave migrations (attestation service,
 	// cipher, ...).
 	Opts *core.Options
+	// Tracer receives the migration's span tree (vmm.* phases plus the
+	// core.* spans of each enclave's secure channel). When nil, LiveMigrate
+	// still runs an internal tracer — the phase timings in
+	// LiveMigrationStats are derived from its spans — it is just not
+	// exported anywhere.
+	Tracer *telemetry.Tracer
+	// Metrics, if set, receives the per-page instruments (page-copy
+	// latency, send-queue occupancy, round bytes, EPC frame gauges,
+	// EENTER/ERESUME/AEX counts). Unlike Tracer there is no internal
+	// default: the hot copy path stays uninstrumented when nil.
+	Metrics *telemetry.Metrics
 }
 
 func (c *LiveMigrationConfig) bandwidth() float64 {
@@ -154,10 +166,22 @@ type chunkSender struct {
 	ch   chan pageChunk
 	wg   sync.WaitGroup
 	once sync.Once
+
+	// Instruments, nil when the migration runs without a metrics registry
+	// (their methods are nil-safe, but copyHist gates a time.Now pair so
+	// the uninstrumented copy path pays nothing).
+	copyHist *telemetry.Histogram // page-copy latency, ns per chunk
+	qGauge   *telemetry.Gauge     // queue occupancy after each enqueue/drain
+	sentCtr  *telemetry.Counter   // pages applied on the target
 }
 
-func newChunkSender(dst *GuestMemory, l *link, queue int) *chunkSender {
+func newChunkSender(dst *GuestMemory, l *link, queue int, met *telemetry.Metrics) *chunkSender {
 	s := &chunkSender{ch: make(chan pageChunk, queue)}
+	if met != nil {
+		s.copyHist = met.Histogram("vmm.pagecopy.ns", pageCopyBounds)
+		s.qGauge = met.Gauge("vmm.sendq.chunks")
+		s.sentCtr = met.Counter("vmm.pages.sent")
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -166,10 +190,18 @@ func newChunkSender(dst *GuestMemory, l *link, queue int) *chunkSender {
 			l.transfer(n)
 			dst.ApplyPages(c.pages, c.data)
 			*c.counter += n
+			s.sentCtr.Add(int64(len(c.pages)))
+			s.qGauge.Set(int64(len(s.ch)))
 		}
 	}()
 	return s
 }
+
+// pageCopyBounds buckets the per-chunk source copy latency (nanoseconds).
+var pageCopyBounds = []int64{1e3, 5e3, 1e4, 5e4, 1e5, 5e5, 1e6, 5e6}
+
+// roundBytesBounds buckets the per-round transfer volume (bytes).
+var roundBytesBounds = []int64{1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28}
 
 // send captures the given source pages in chunks and enqueues them. It blocks
 // only when the queue is full (the link is the bottleneck).
@@ -181,8 +213,15 @@ func (s *chunkSender) send(src *GuestMemory, pages []int, chunk int, counter *in
 		}
 		part := pages[off:end]
 		data := make([]byte, len(part)*PageSize)
-		src.CopyPages(part, data)
+		if s.copyHist != nil {
+			t0 := time.Now()
+			src.CopyPages(part, data)
+			s.copyHist.Observe(time.Since(t0).Nanoseconds())
+		} else {
+			src.CopyPages(part, data)
+		}
 		s.ch <- pageChunk{pages: part, data: data, counter: counter}
+		s.qGauge.Set(int64(len(s.ch)))
 	}
 }
 
@@ -231,17 +270,33 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	}
 	stats := &LiveMigrationStats{}
 	l := &link{bps: cfg.bandwidth()}
-	start := time.Now()
+	met := cfg.Metrics
+
+	// The tracer is always on: the phase timings reported in stats are the
+	// durations of the spans below, so a cfg.Tracer simply additionally
+	// gets to export what LiveMigrate measures anyway.
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = telemetry.New()
+	}
+	root := tr.Begin("vmm.livemigrate", telemetry.String("vm", vm.Name), telemetry.String("dst", dst.Name))
+	defer root.End()
 
 	tvm, err := dst.CreateVM(vm.Config)
 	if err != nil {
+		root.Fail(err)
 		return nil, nil, err
 	}
+	// Publish EPC frame accounting of both guests for the migration's
+	// duration (dark when met is nil).
+	vm.OS.Host().Mgr.SetMetrics(met)
+	tvm.OS.Host().Mgr.SetMetrics(met)
 
 	procs := vm.OS.Processes()
 	stats.EnclaveCount = len(procs)
+	root.Annotate(telemetry.Int("enclaves", len(procs)))
 
-	snd := newChunkSender(tvm.Mem, l, cfg.sendQueue())
+	snd := newChunkSender(tvm.Mem, l, cfg.sendQueue(), met)
 	// fail unwinds a partial migration: finish the stream, resume the source
 	// enclaves, and tear down the half-built target VM so its guest memory
 	// and any restored enclaves' EPC are returned.
@@ -249,6 +304,7 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 		snd.drain()
 		vm.OS.CancelMigration()
 		_ = tvm.Shutdown()
+		root.Fail(err)
 		return nil, nil, err
 	}
 
@@ -262,28 +318,46 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	dumpPending := false
 	var blobs map[string][]byte
 	if len(procs) > 0 {
-		runDump := func() dumpResult {
+		// The dump span parents the per-enclave core.prepare/core.dump
+		// spans; runDump owns its lifetime on both schedules.
+		runDump := func(sp *telemetry.Span) dumpResult {
+			dumpOpts := *opts
+			dumpOpts.Trace = sp
 			var r dumpResult
-			r.blobs, r.took, r.err = vm.OS.PrepareAllEnclaves(opts)
+			r.blobs, r.took, r.err = vm.OS.PrepareAllEnclaves(&dumpOpts)
+			if r.err != nil {
+				sp.Fail(r.err)
+			} else {
+				sp.Annotate(telemetry.Duration("guest_dump", r.took))
+				sp.End()
+			}
 			return r
 		}
 		if cfg.SerialDump {
-			r := runDump()
+			// Child, not Fork: the serial schedule keeps the dump on the
+			// main track, strictly before the bulk round in the trace.
+			r := runDump(root.Child("vmm.dump", telemetry.String("schedule", "serial")))
 			if r.err != nil {
 				return fail(fmt.Errorf("vmm: prepare enclaves: %w", r.err))
 			}
 			blobs, stats.EnclaveDumpTime = r.blobs, r.took
 		} else {
 			dumpPending = true
-			go func() { dumpCh <- runDump() }()
+			dumpSp := root.Fork("vmm.dump", telemetry.String("schedule", "pipelined"))
+			go func() { dumpCh <- runDump(dumpSp) }()
 		}
 	}
+
+	roundHist := met.Histogram("vmm.round.bytes", roundBytesBounds)
 
 	// Bulk round (round 0) of every guest page, overlapped with the dump.
 	vm.Mem.MarkAllDirty()
 	round0 := vm.Mem.CollectDirty()
 	stats.RoundDirtyPages = append(stats.RoundDirtyPages, len(round0))
+	bulkSp := root.Child("vmm.bulk", telemetry.Int("pages", len(round0)))
 	snd.send(vm.Mem, round0, cfg.chunkPages(), &stats.BulkBytes)
+	bulkSp.End()
+	roundHist.Observe(int64(len(round0)) * PageSize)
 
 	// Iterative pre-copy of the dirty residue (checkpoint pages plus
 	// whatever the still-running plain processes touch). While the dump is
@@ -305,16 +379,21 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 		dirty := vm.Mem.CollectDirty()
 		stats.RoundDirtyPages = append(stats.RoundDirtyPages, len(dirty))
 		converged := len(dirty) <= cfg.threshold() || round >= cfg.maxRounds()
+		roundSp := root.Child("vmm.precopy.round",
+			telemetry.Int("round", round), telemetry.Int("pages", len(dirty)))
 		snd.send(vm.Mem, dirty, cfg.chunkPages(), &stats.PreCopyBytes)
+		roundSp.End()
+		roundHist.Observe(int64(len(dirty)) * PageSize)
 		if !converged {
 			continue
 		}
 		if dumpPending {
 			// Pre-copy has converged but the checkpoints are not out yet:
 			// this wait is the dump time the pipeline failed to hide.
-			waitStart := time.Now()
+			waitSp := root.Child("vmm.dumpwait")
 			r := <-dumpCh
-			dumpWaited += time.Since(waitStart)
+			waitSp.End()
+			dumpWaited += waitSp.Duration()
 			if r.err != nil {
 				return fail(fmt.Errorf("vmm: prepare enclaves: %w", r.err))
 			}
@@ -337,15 +416,20 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	// Stop-and-copy (downtime window begins). Enclave workers are already
 	// parked in their in-enclave spin regions; stop the rest, ship the final
 	// dirty set and the device state, and drain the stream — everything must
-	// have landed before the target may resume.
-	downStart := time.Now()
+	// have landed before the target may resume. The downtime span runs
+	// until the target resumes; the deferred End covers the fail paths.
+	downSp := root.Child("vmm.downtime")
+	defer downSp.End()
 	vm.OS.StopPlain()
 	final := vm.Mem.CollectDirty()
 	stats.RoundDirtyPages = append(stats.RoundDirtyPages, len(final))
+	scSp := downSp.Child("vmm.stopcopy", telemetry.Int("pages", len(final)))
 	snd.send(vm.Mem, final, cfg.chunkPages(), &stats.StopCopyBytes)
 	snd.drain()
 	l.transfer(64 * 1024) // device state
 	stats.StopCopyBytes += 64 * 1024
+	scSp.End()
+	roundHist.Observe(int64(len(final)) * PageSize)
 
 	// Per-enclave secure migration. Each enclave gets an internal control
 	// pipe; the source half runs MigrateOutChannel in a goroutine (image +
@@ -360,6 +444,7 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	type encMigration struct {
 		p       *Process
 		ts      core.Transport
+		sp      *telemetry.Span // channel-setup span; owns both goroutines
 		srcDone chan struct{}
 		tgtDone chan struct{}
 		ps      *core.PreparedSource
@@ -374,10 +459,16 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 		if cfg.TransportFactory != nil {
 			ts, td = cfg.TransportFactory(p.Name, t1, t2)
 		}
-		m := &encMigration{p: p, ts: ts, srcDone: make(chan struct{}), tgtDone: make(chan struct{})}
+		// Fork: concurrent channel setups land on their own trace rows.
+		// The core.channel / core.target.prepare spans of both halves
+		// parent here via the per-enclave Options clone.
+		sp := downSp.Fork("vmm.enclave.channel", telemetry.String("enclave", p.Name))
+		encOpts := *opts
+		encOpts.Trace = sp
+		m := &encMigration{p: p, ts: ts, sp: sp, srcDone: make(chan struct{}), tgtDone: make(chan struct{})}
 		go func() {
 			defer close(m.srcDone)
-			m.ps, m.srcErr = core.MigrateOutChannel(p.RT, blobs[p.Name], ts, opts)
+			m.ps, m.srcErr = core.MigrateOutChannel(p.RT, blobs[p.Name], ts, &encOpts)
 			if m.srcErr != nil {
 				// Unblock the target side: the pipe halves share a close,
 				// so its pending Recv fails instead of parking forever.
@@ -386,7 +477,7 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 		}()
 		go func() {
 			defer close(m.tgtDone)
-			m.ip, m.tgtErr = tvm.OS.ReceiveEnclaveProcessPrepare(p.Name, p.Image, td, opts, p.workload)
+			m.ip, m.tgtErr = tvm.OS.ReceiveEnclaveProcessPrepare(p.Name, p.Image, td, &encOpts, p.workload)
 			if m.tgtErr != nil {
 				_ = td.Close()
 			}
@@ -406,13 +497,22 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	// release the migration is committed (that source has self-destroyed); a
 	// later failure still unwinds — the paper accepts losing the instance
 	// over forking it.
-	restoreStart := time.Now()
+	commitAll := downSp.Child("vmm.commit")
+	defer commitAll.End()
 	var migErr error
 	for _, m := range migs {
 		// Both goroutines always terminate: each closes its pipe half on
 		// error, which unblocks the peer's pending Recv.
 		<-m.srcDone
 		<-m.tgtDone
+		switch {
+		case m.srcErr != nil:
+			m.sp.Fail(m.srcErr)
+		case m.tgtErr != nil:
+			m.sp.Fail(m.tgtErr)
+		default:
+			m.sp.End()
+		}
 		switch {
 		case migErr != nil:
 			if m.tgtErr == nil {
@@ -434,6 +534,7 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 			// self-destroys strictly before the key crosses the channel;
 			// the target installs it and rebuilds. Release blocks on the
 			// target's MsgDone, so the two halves run concurrently.
+			cSp := commitAll.Child("vmm.enclave.commit", telemetry.String("enclave", m.p.Name))
 			relDone := make(chan error, 1)
 			go func(m *encMigration) {
 				_, err := m.ps.Release()
@@ -447,8 +548,12 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 			relErr := <-relDone
 			if rerr != nil {
 				migErr = fmt.Errorf("vmm: migrate enclave %s: %w", m.p.Name, rerr)
+				cSp.Fail(rerr)
 			} else if relErr != nil {
 				migErr = fmt.Errorf("vmm: migrate enclave %s: %w", m.p.Name, relErr)
+				cSp.Fail(relErr)
+			} else {
+				cSp.End()
 			}
 		}
 		// Control-protocol traffic (quote, verdict, DH, sealed key).
@@ -458,17 +563,34 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	if migErr != nil {
 		return fail(migErr)
 	}
+	commitAll.End()
 	if len(procs) > 0 {
-		stats.EnclaveRestoreTime = time.Since(restoreStart)
+		stats.EnclaveRestoreTime = commitAll.Duration()
 	}
 
 	// Resume on the target.
 	for _, tp := range tvm.OS.Processes() {
 		tp.start()
 	}
-	stats.Downtime = time.Since(downStart) + stats.EnclaveDumpTime - stats.DumpPrecopyOverlap
-	stats.TotalTime = time.Since(start)
+	downSp.End()
+	root.End()
+	// Stats are read back off the spans: the tracer is the single source
+	// of truth for the phase timings.
+	stats.Downtime = downSp.Duration() + stats.EnclaveDumpTime - stats.DumpPrecopyOverlap
+	stats.TotalTime = root.Duration()
 	stats.TransferredBytes = l.total()
+	if met != nil {
+		// Hardware execution counters at migration end; both machines so
+		// AEX storms on either side are visible in /metrics.
+		ee, er, ax := vm.Node.Machine.ExecCounters()
+		met.Gauge("sgx.source.eenter").Set(int64(ee))
+		met.Gauge("sgx.source.eresume").Set(int64(er))
+		met.Gauge("sgx.source.aex").Set(int64(ax))
+		ee, er, ax = dst.Machine.ExecCounters()
+		met.Gauge("sgx.target.eenter").Set(int64(ee))
+		met.Gauge("sgx.target.eresume").Set(int64(er))
+		met.Gauge("sgx.target.aex").Set(int64(ax))
+	}
 
 	// The source VM is gone; its enclaves have self-destroyed, so their
 	// parked host loops exit with ErrDestroyed and the EPC can be freed.

@@ -1,0 +1,134 @@
+package vmm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// traceVM builds a small enclave-carrying VM and migrates it with a live
+// tracer attached, returning the tracer for shape assertions.
+func traceVM(t *testing.T, serial bool) (*telemetry.Tracer, *LiveMigrationStats) {
+	t.Helper()
+	_, owner, src, dst := newCloud(t)
+	deployCounter(t, owner, src, dst)
+	vm, err := src.CreateVM(VMConfig{Name: "vm-trace", MemPages: 2048, VCPUs: 4, EPCQuota: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := vm.OS.LaunchEnclaveProcess(fmt.Sprintf("enc-%d", i), "counter", owner, counterWorkload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(2 * time.Millisecond)
+
+	tr := telemetry.New()
+	tvm, stats, err := LiveMigrate(vm, dst, &LiveMigrationConfig{
+		BandwidthBps:       250e6, // slow link so the dump/pre-copy interleaving is visible
+		SerialDump:         serial,
+		SerialChannelSetup: serial,
+		Tracer:             tr,
+		Metrics:            telemetry.NewMetrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		tvm.OS.StopAll()
+		if err := tvm.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return tr, stats
+}
+
+// interval returns the [start, end] of the single span with this name.
+func interval(t *testing.T, tr *telemetry.Tracer, name string) (time.Duration, time.Duration) {
+	t.Helper()
+	recs := tr.ByName(name)
+	if len(recs) != 1 {
+		t.Fatalf("want exactly one %q span, got %d", name, len(recs))
+	}
+	return recs[0].Start, recs[0].Start + recs[0].Dur
+}
+
+// TestLiveMigrateTraceShape checks that the pipelined engine's trace tells
+// the pipelining story: the enclave dump span runs on its own track and
+// overlaps the memory transfer, every expected phase span is present, and
+// no span leaks open.
+func TestLiveMigrateTraceShape(t *testing.T) {
+	tr, stats := traceVM(t, false)
+
+	if n := tr.ActiveCount(); n != 0 {
+		t.Fatalf("%d spans still open after migration", n)
+	}
+	// vmm.dumpwait is deliberately absent: it only appears when the dump
+	// outlasts pre-copy convergence, which a healthy pipeline avoids.
+	for _, name := range []string{
+		"vmm.livemigrate", "vmm.dump", "vmm.bulk", "vmm.precopy.round",
+		"vmm.downtime", "vmm.stopcopy", "vmm.commit",
+		"vmm.enclave.channel", "vmm.enclave.commit",
+		"core.prepare", "core.dump", "core.channel", "core.keyrelease",
+		"core.restore", "core.target.prepare", "core.target.finish",
+	} {
+		if len(tr.ByName(name)) == 0 {
+			t.Errorf("trace is missing span %q", name)
+		}
+	}
+
+	root := tr.ByName("vmm.livemigrate")[0]
+	if root.Parent != 0 {
+		t.Fatalf("vmm.livemigrate should be a root span, parent=%d", root.Parent)
+	}
+	if stats.TotalTime != root.Dur {
+		t.Fatalf("TotalTime %v is not derived from the root span (%v)", stats.TotalTime, root.Dur)
+	}
+
+	dump := tr.ByName("vmm.dump")[0]
+	if dump.Parent != root.ID {
+		t.Fatalf("vmm.dump parent = %d, want root %d", dump.Parent, root.ID)
+	}
+	if dump.Track == root.Track {
+		t.Fatal("pipelined vmm.dump should be forked onto its own track")
+	}
+	// The pipelining claim itself: the dump interval overlaps the memory
+	// transfer (bulk round + pre-copy rounds) instead of preceding it.
+	bulkStart, bulkEnd := interval(t, tr, "vmm.bulk")
+	xferEnd := bulkEnd
+	for _, r := range tr.ByName("vmm.precopy.round") {
+		if end := r.Start + r.Dur; end > xferEnd {
+			xferEnd = end
+		}
+	}
+	if dump.Start >= xferEnd || dump.Start+dump.Dur <= bulkStart {
+		t.Fatalf("vmm.dump [%v,%v] does not overlap the transfer [%v,%v]",
+			dump.Start, dump.Start+dump.Dur, bulkStart, xferEnd)
+	}
+
+	down := tr.ByName("vmm.downtime")[0]
+	if stats.Downtime < down.Dur {
+		t.Fatalf("Downtime %v below the downtime span %v", stats.Downtime, down.Dur)
+	}
+}
+
+// TestLiveMigrateTraceSerial pins the serial Fig. 8 schedule's trace: the
+// dump is a same-track child that fully precedes the bulk transfer.
+func TestLiveMigrateTraceSerial(t *testing.T) {
+	tr, _ := traceVM(t, true)
+
+	if n := tr.ActiveCount(); n != 0 {
+		t.Fatalf("%d spans still open after migration", n)
+	}
+	root := tr.ByName("vmm.livemigrate")[0]
+	dump := tr.ByName("vmm.dump")[0]
+	if dump.Track != root.Track {
+		t.Fatal("serial vmm.dump should share the root track (Child, not Fork)")
+	}
+	bulkStart, _ := interval(t, tr, "vmm.bulk")
+	if dumpEnd := dump.Start + dump.Dur; dumpEnd > bulkStart {
+		t.Fatalf("serial schedule: dump ends at %v, after bulk transfer starts at %v", dumpEnd, bulkStart)
+	}
+}
