@@ -10,9 +10,16 @@
 // hosts first talk to each other.
 //
 // With -telemetry-addr the daemon additionally serves its live telemetry
-// over HTTP: /metrics (plain-text instrument dump) and /debug/trace
-// (Chrome trace-event JSON of every migration span so far); see
-// docs/TELEMETRY.md.
+// over HTTP: /metrics (plain-text instrument dump with p50/p90/p99
+// columns), /debug/trace (Chrome trace-event JSON of every migration span
+// so far), and /debug/pprof/ (runtime profiles); see docs/TELEMETRY.md.
+// Tracing is distributed: requests carrying a trace context (sgxmigrate
+// -trace) get their spans parented under the client's, migrations forward
+// the context to the target host, and the target ships its span buffer
+// back, so one migration exports as one merged trace. -trace-sample keeps
+// tracing affordable when it is always on: only that fraction of
+// locally-rooted traces is kept, except failed traces, which are always
+// kept.
 //
 // Usage:
 //
@@ -23,12 +30,14 @@ package main
 
 import (
 	"encoding/gob"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/attest"
 	"repro/internal/core"
@@ -45,12 +54,13 @@ func main() {
 	name := flag.String("name", "host", "machine name")
 	secret := flag.String("secret", "", "shared deployment secret (required)")
 	epc := flag.Int("epc", 8192, "EPC frames")
-	telAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/trace on this address (empty disables telemetry)")
+	telAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/trace and /debug/pprof on this address (empty disables telemetry)")
+	sample := flag.Float64("trace-sample", 1, "fraction of locally-rooted traces to keep (failed traces are always kept)")
 	flag.Parse()
 	if *secret == "" {
 		log.Fatal("sgxhost: -secret is required")
 	}
-	if err := run(*listen, *name, *secret, *epc, *telAddr); err != nil {
+	if err := run(*listen, *name, *secret, *epc, *telAddr, *sample); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -69,19 +79,21 @@ type server struct {
 	// concurrent calls into different enclaves don't serialize on s.mu.
 	sessions *core.SessionTable
 
-	// tr/met are nil unless -telemetry-addr is set; all uses are nil-safe.
+	// tr/met are nil unless telemetry is enabled; all uses are nil-safe.
 	tr  *telemetry.Tracer
 	met *telemetry.Metrics
 }
 
-func run(listen, name, secret string, epc int, telAddr string) error {
+// newServer builds a daemon without binding any sockets, so tests can run
+// server pairs in-process on ephemeral listeners.
+func newServer(name, secret string, epc int) (*server, error) {
 	ids := hostproto.DeriveIdentities(secret)
 	service := attest.NewServiceFromSeed(ids.ServiceSeed)
 	owner := core.NewOwnerFromSeeds(service, ids.SignerSeed, ids.EnclaveSeed, ids.Kencrypt)
 
 	machine, err := sgx.NewMachine(sgx.Config{Name: name, EPCFrames: epc, Quantum: 2000})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	service.RegisterMachine(machine.AttestationPublic())
 
@@ -90,7 +102,7 @@ func run(listen, name, secret string, epc int, telAddr string) error {
 		registry.Add(core.NewDeployment(app, owner))
 	}
 
-	s := &server{
+	return &server{
 		name:     name,
 		machine:  machine,
 		host:     enclave.NewBareHost(machine),
@@ -98,12 +110,31 @@ func run(listen, name, secret string, epc int, telAddr string) error {
 		owner:    owner,
 		registry: registry,
 		sessions: core.NewSessionTable(),
+	}, nil
+}
+
+// enableTelemetry turns on the tracer and metrics registry with the given
+// head-sampling fraction.
+func (s *server) enableTelemetry(sample float64) {
+	s.tr = telemetry.New()
+	s.tr.SetSampling(sample)
+	s.met = telemetry.NewMetrics()
+	s.host.Mgr.SetMetrics(s.met)
+}
+
+func run(listen, name, secret string, epc int, telAddr string, sample float64) error {
+	s, err := newServer(name, secret, epc)
+	if err != nil {
+		return err
 	}
 
+	// Tracing and metrics are always on — the daemon must be able to join
+	// a migration trace rooted elsewhere even when it serves no telemetry
+	// endpoint itself; -trace-sample bounds the cost. -telemetry-addr only
+	// controls whether the buffers are published over HTTP.
+	s.enableTelemetry(sample)
+
 	if telAddr != "" {
-		s.tr = telemetry.New()
-		s.met = telemetry.NewMetrics()
-		s.host.Mgr.SetMetrics(s.met)
 		inner := telemetry.Handler(s.tr, s.met)
 		handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			// Hardware counters and session gauges are pull-based:
@@ -116,15 +147,20 @@ func run(listen, name, secret string, epc int, telAddr string) error {
 				log.Printf("sgxhost: telemetry server: %v", err)
 			}
 		}()
-		log.Printf("telemetry on http://%s/metrics and /debug/trace", telAddr)
+		log.Printf("telemetry on http://%s/metrics, /debug/trace and /debug/pprof", telAddr)
 	}
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
-	mk := machine.AttestationPublic()
+	mk := s.machine.AttestationPublic()
 	log.Printf("sgxhost %s listening on %s (machine key %x...)", name, listen, mk[:6])
+	return s.serveLoop(ln)
+}
+
+// serveLoop accepts connections until the listener closes.
+func (s *server) serveLoop(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -174,25 +210,52 @@ func (s *server) serve(conn net.Conn) {
 	}
 }
 
+// traceContext recovers the caller's trace context from a request; a
+// malformed header degrades to untraced rather than failing the op.
+func traceContext(cmd hostproto.Command) telemetry.Context {
+	ctx, err := telemetry.Extract(cmd.TraceParent)
+	if err != nil {
+		log.Printf("sgxhost: ignoring malformed traceparent %q: %v", cmd.TraceParent, err)
+		return telemetry.Context{}
+	}
+	return ctx
+}
+
 func (s *server) handle(cmd hostproto.Command) hostproto.Response {
 	s.met.Counter("host.ops." + string(cmd.Op)).Inc()
+	ctx := traceContext(cmd)
+	var sp *telemetry.Span
+	var resp hostproto.Response
 	switch cmd.Op {
 	case hostproto.OpLaunch:
-		return s.launch(cmd.Image)
+		sp = s.tr.BeginRemote("host.launch", ctx, telemetry.String("image", cmd.Image))
+		resp = s.launch(cmd.Image)
 	case hostproto.OpCall:
-		return s.call(cmd)
+		resp = s.call(cmd)
 	case hostproto.OpList:
-		return s.list()
+		resp = s.list()
 	case hostproto.OpMigrateOut:
-		return s.migrateOut(cmd)
+		sp = s.tr.BeginRemote("host.migrateout", ctx,
+			telemetry.String("enclave", cmd.ID), telemetry.String("target", cmd.Target))
+		resp = s.migrateOut(cmd, sp)
 	default:
-		return hostproto.Response{Err: fmt.Sprintf("unknown op %q", cmd.Op)}
+		resp = hostproto.Response{Err: fmt.Sprintf("unknown op %q", cmd.Op)}
 	}
+	if resp.Err != "" {
+		sp.Fail(errors.New(resp.Err))
+	} else {
+		sp.End()
+	}
+	// Return this host's finished spans for the caller's trace (including
+	// any the migration target shipped to us) so the client can merge them.
+	if s.tr != nil && !ctx.TraceID.IsZero() {
+		resp.Trace = s.tr.ExportTrace(ctx.TraceID)
+		resp.Trace.Proc = "sgxhost " + s.name
+	}
+	return resp
 }
 
 func (s *server) launch(image string) hostproto.Response {
-	sp := s.tr.Begin("host.launch", telemetry.String("image", image))
-	defer sp.End()
 	dep, ok := s.registry.Lookup(image)
 	if !ok {
 		return hostproto.Response{Err: fmt.Sprintf("unknown image %q", image)}
@@ -239,11 +302,11 @@ func (s *server) list() hostproto.Response {
 	return hostproto.Response{IDs: ids}
 }
 
-// migrateOut ships one of our enclaves to another sgxhost.
-func (s *server) migrateOut(cmd hostproto.Command) hostproto.Response {
-	sp := s.tr.Begin("host.migrateout",
-		telemetry.String("enclave", cmd.ID), telemetry.String("target", cmd.Target))
-	defer sp.End()
+// migrateOut ships one of our enclaves to another sgxhost. The op span sp
+// (may be nil) parents the core migration phases and its context is
+// forwarded to the target host, whose spans come back in a TraceShipment
+// after the core protocol finishes.
+func (s *server) migrateOut(cmd hostproto.Command, sp *telemetry.Span) hostproto.Response {
 	rt, ok := s.sessions.Lookup(cmd.ID)
 	if !ok {
 		return hostproto.Response{Err: fmt.Sprintf("no enclave %q", cmd.ID)}
@@ -255,7 +318,11 @@ func (s *server) migrateOut(cmd hostproto.Command) hostproto.Response {
 	defer conn.Close()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(hostproto.Command{Op: hostproto.OpMigrateIn, ID: cmd.ID}); err != nil {
+	if err := enc.Encode(hostproto.Command{
+		Op:          hostproto.OpMigrateIn,
+		ID:          cmd.ID,
+		TraceParent: sp.Context().Inject(),
+	}); err != nil {
 		return hostproto.Response{Err: err.Error()}
 	}
 	// Exchange machine attestation keys so the attestation plumbing works
@@ -270,9 +337,12 @@ func (s *server) migrateOut(cmd hostproto.Command) hostproto.Response {
 	s.service.RegisterMachine(peer.Key)
 
 	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met}
-	rep, err := core.MigrateOut(rt, core.NewConnTransport(conn), opts)
+	// Reuse the handshake's gob stream for the migration messages: a second
+	// decoder on the same conn would lose buffered bytes, and the trailing
+	// TraceShipment must arrive on the stream the handshake owns.
+	rep, err := core.MigrateOut(rt, core.NewGobTransport(conn, enc, dec), opts)
+	s.recvTraceShipment(conn, dec, sp)
 	if err != nil {
-		sp.Fail(err)
 		s.met.Counter("host.migrations.failed").Inc()
 		return hostproto.Response{Err: err.Error()}
 	}
@@ -282,22 +352,44 @@ func (s *server) migrateOut(cmd hostproto.Command) hostproto.Response {
 	return hostproto.Response{Report: fmt.Sprintf("total=%v checkpoint=%dB", rep.TotalTime, rep.CheckpointBytes)}
 }
 
+// recvTraceShipment reads the target's span buffer off the migration
+// connection and folds it into the local tracer. The target always sends
+// one (empty when untraced), but if it died mid-protocol nothing may
+// come — a short read deadline keeps a broken migration from hanging the
+// source, at worst losing the target's half of the trace.
+func (s *server) recvTraceShipment(conn net.Conn, dec *gob.Decoder, sp *telemetry.Span) {
+	if sp == nil {
+		return // telemetry dark: nothing to merge into
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	defer conn.SetReadDeadline(time.Time{})
+	var ship hostproto.TraceShipment
+	if err := dec.Decode(&ship); err != nil {
+		return
+	}
+	s.tr.Adopt(ship.Trace)
+}
+
 // handleMigrateIn accepts an inbound migration on this connection.
 func (s *server) handleMigrateIn(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, cmd hostproto.Command) {
-	sp := s.tr.Begin("host.migratein", telemetry.String("enclave", cmd.ID))
-	defer sp.End()
+	s.met.Counter("host.ops." + string(cmd.Op)).Inc()
+	ctx := traceContext(cmd)
+	sp := s.tr.BeginRemote("host.migratein", ctx, telemetry.String("enclave", cmd.ID))
 	var peer hostproto.MachineKey
 	if err := dec.Decode(&peer); err != nil {
+		sp.Fail(err)
 		return
 	}
 	s.service.RegisterMachine(peer.Key)
 	if err := enc.Encode(hostproto.MachineKey{Key: s.machine.AttestationPublic()}); err != nil {
+		sp.Fail(err)
 		return
 	}
 	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met}
-	inc, err := core.MigrateIn(s.host, s.registry, core.NewConnTransport(conn), opts)
+	inc, err := core.MigrateIn(s.host, s.registry, core.NewGobTransport(conn, enc, dec), opts)
 	if err != nil {
 		sp.Fail(err)
+		s.shipTrace(enc, ctx)
 		s.met.Counter("host.migrations.failed").Inc()
 		log.Printf("inbound migration failed: %v", err)
 		return
@@ -317,5 +409,21 @@ func (s *server) handleMigrateIn(conn net.Conn, dec *gob.Decoder, enc *gob.Encod
 	id := fmt.Sprintf("%s@%d", cmd.ID, s.next)
 	s.mu.Unlock()
 	s.sessions.Add(id, inc.Runtime)
+	sp.End()
+	s.shipTrace(enc, ctx)
 	log.Printf("accepted migration of %s as %s (restore=%v verify=%v)", cmd.ID, id, inc.RestoreTime, inc.VerifyTime)
+}
+
+// shipTrace sends this host's finished spans for the migration's trace
+// back to the source. Always sent — empty when untraced or telemetry is
+// dark — so the source reads exactly one trailer message. Send errors are
+// ignored: the migration already committed or aborted, only observability
+// is at stake.
+func (s *server) shipTrace(enc *gob.Encoder, ctx telemetry.Context) {
+	var ship hostproto.TraceShipment
+	if s.tr != nil && !ctx.TraceID.IsZero() {
+		ship.Trace = s.tr.ExportTrace(ctx.TraceID)
+		ship.Trace.Proc = "sgxhost " + s.name
+	}
+	_ = enc.Encode(ship)
 }

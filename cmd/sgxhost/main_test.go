@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/hostproto"
+	"repro/internal/telemetry"
+)
+
+// testHost is one in-process sgxhost on an ephemeral localhost port.
+type testHost struct {
+	s    *server
+	addr string
+}
+
+func startHost(t *testing.T, name string, seed uint64, sample float64) *testHost {
+	t.Helper()
+	s, err := newServer(name, "test-secret", 4096)
+	if err != nil {
+		t.Fatalf("newServer(%s): %v", name, err)
+	}
+	s.tr = telemetry.NewSeeded(seed)
+	s.tr.SetSampling(sample)
+	s.met = telemetry.NewMetrics()
+	s.host.Mgr.SetMetrics(s.met)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go s.serveLoop(ln)
+	return &testHost{s: s, addr: ln.Addr().String()}
+}
+
+// clientRequest mirrors sgxmigrate's traced request: child span, inject,
+// adopt the returned buffer, fail the span on error.
+func clientRequest(t *testing.T, tr *telemetry.Tracer, sp *telemetry.Span, addr string, cmd hostproto.Command) (hostproto.Response, error) {
+	t.Helper()
+	rsp := sp.Child("client." + string(cmd.Op))
+	cmd.TraceParent = rsp.Context().Inject()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(cmd); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var resp hostproto.Response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	tr.Adopt(resp.Trace)
+	if resp.Err != "" {
+		err = fmt.Errorf("%s: %s", addr, resp.Err)
+	}
+	rsp.Fail(err)
+	return resp, err
+}
+
+// TestCrossHostTraceMerge drives a real localhost migration between two
+// in-process sgxhost daemons and checks the tentpole property: one
+// migration is one trace — a single TraceID spanning client, source, and
+// target spans, with no span left open anywhere.
+func TestCrossHostTraceMerge(t *testing.T) {
+	src := startHost(t, "alpha", 1, 1)
+	dst := startHost(t, "beta", 2, 1)
+	client := telemetry.NewSeeded(3)
+
+	root := client.Begin("client.migrate")
+	launch, err := clientRequest(t, client, root, src.addr, hostproto.Command{Op: hostproto.OpLaunch, Image: "counter"})
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	if _, err := clientRequest(t, client, root, src.addr, hostproto.Command{
+		Op: hostproto.OpMigrateOut, ID: launch.ID, Target: dst.addr,
+	}); err != nil {
+		t.Fatalf("migrate-out: %v", err)
+	}
+	root.End()
+
+	recs := client.Completed()
+	traceIDs := map[telemetry.TraceID]bool{}
+	names := map[string]int{}
+	for _, r := range recs {
+		traceIDs[r.TraceID] = true
+		names[r.Name]++
+	}
+	if len(traceIDs) != 1 {
+		t.Fatalf("merged trace has %d TraceIDs, want 1: %v (spans %v)", len(traceIDs), traceIDs, names)
+	}
+	want := telemetry.TraceID{}
+	for id := range traceIDs {
+		want = id
+	}
+	if want != root.Context().TraceID {
+		t.Fatalf("merged TraceID %v is not the client root's %v", want, root.Context().TraceID)
+	}
+	// Client, source-phase, wire, and target-phase spans must all be there.
+	for _, name := range []string{
+		"client.migrate", "client.migrate-out",
+		"host.migrateout", "core.prepare", "core.dump", "core.channel", "core.wire", "core.keyrelease",
+		"host.migratein", "core.target.prepare", "core.target.finish", "core.restore",
+	} {
+		if names[name] == 0 {
+			t.Errorf("merged trace missing span %q; have %v", name, names)
+		}
+	}
+	// No span left open on any party.
+	for who, tr := range map[string]*telemetry.Tracer{"client": client, "source": src.s.tr, "target": dst.s.tr} {
+		if n := tr.ActiveCount(); n != 0 {
+			t.Errorf("%s has %d open spans, want 0", who, n)
+		}
+	}
+	// The migrated enclave really is on the target.
+	list, err := clientRequest(t, client, client.Begin("client.list"), dst.addr, hostproto.Command{Op: hostproto.OpList})
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(list.IDs) != 1 {
+		t.Fatalf("target has %d enclaves, want 1: %v", len(list.IDs), list.IDs)
+	}
+}
+
+// TestSamplingZeroAcrossHosts checks the always-on-sampling contract over
+// the real wire: at p=0 a successful operation leaves no spans anywhere,
+// while a failed migration is promoted everywhere the trace touched.
+func TestSamplingZeroAcrossHosts(t *testing.T) {
+	src := startHost(t, "alpha", 4, 1)
+	client := telemetry.NewSeeded(5)
+	client.SetSampling(0)
+
+	// Success at p=0: dropped on both client and host.
+	root := client.Begin("client.manual")
+	if root.Context().Sampled {
+		t.Fatalf("p=0 root span is sampled")
+	}
+	if _, err := clientRequest(t, client, root, src.addr, hostproto.Command{Op: hostproto.OpLaunch, Image: "counter"}); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	root.End()
+	if got := client.Completed(); len(got) != 0 {
+		t.Fatalf("p=0 successful trace kept %d client spans, want 0: %+v", len(got), got)
+	}
+	if got := src.s.tr.Completed(); len(got) != 0 {
+		t.Fatalf("p=0 successful trace kept %d host spans, want 0: %+v", len(got), got)
+	}
+
+	// Failure at p=0: migrating a nonexistent enclave fails on the host;
+	// both sides keep the trace.
+	root2 := client.Begin("client.migrate")
+	if _, err := clientRequest(t, client, root2, src.addr, hostproto.Command{
+		Op: hostproto.OpMigrateOut, ID: "no-such-enclave", Target: "127.0.0.1:1",
+	}); err == nil {
+		t.Fatalf("migrate-out of unknown enclave succeeded")
+	}
+	root2.End()
+	recs := client.Completed()
+	names := map[string]bool{}
+	for _, r := range recs {
+		if r.TraceID != root2.Context().TraceID {
+			t.Errorf("kept span %q from wrong trace", r.Name)
+		}
+		names[r.Name] = true
+	}
+	if !names["host.migrateout"] || !names["client.migrate-out"] || !names["client.migrate"] {
+		t.Fatalf("failed trace not fully kept at p=0: %v", names)
+	}
+	if src.s.tr.ActiveCount() != 0 || client.ActiveCount() != 0 {
+		t.Fatalf("open spans leaked: host=%d client=%d", src.s.tr.ActiveCount(), client.ActiveCount())
+	}
+}

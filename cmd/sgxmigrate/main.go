@@ -7,6 +7,14 @@
 //
 //	sgxmigrate -from 127.0.0.1:7001 -to 127.0.0.1:7002 [-image counter]
 //
+// With -trace the client roots a distributed trace: every request carries
+// the trace context, the hosts parent their spans under it (the migration
+// target included, via the source), and each response returns the host's
+// span buffer, which the client merges and writes as one Chrome trace-
+// event JSON file — one migration, one timeline, viewable in Perfetto:
+//
+//	sgxmigrate -from 127.0.0.1:7001 -to 127.0.0.1:7002 -trace out.json
+//
 // Subcommand style is also supported for manual poking:
 //
 //	sgxmigrate -from HOST launch counter
@@ -20,9 +28,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"strconv"
 
 	"repro/internal/hostproto"
+	"repro/internal/telemetry"
 	"repro/internal/testapps"
 )
 
@@ -30,20 +40,61 @@ func main() {
 	from := flag.String("from", "127.0.0.1:7001", "source sgxhost address")
 	to := flag.String("to", "127.0.0.1:7002", "target sgxhost address")
 	image := flag.String("image", "counter", "image to exercise in the demo")
+	traceOut := flag.String("trace", "", "write a merged Chrome trace of the run to this file")
 	flag.Parse()
 
-	if flag.NArg() > 0 {
-		if err := manual(*from, flag.Args()); err != nil {
-			log.Fatal(err)
-		}
-		return
+	var tr *telemetry.Tracer
+	if *traceOut != "" {
+		tr = telemetry.New()
 	}
-	if err := demo(*from, *to, *image); err != nil {
+
+	var err error
+	if flag.NArg() > 0 {
+		err = manual(tr, *from, flag.Args())
+	} else {
+		err = demo(tr, *from, *to, *image)
+	}
+	// Write the trace before exiting either way: a failed run's trace is
+	// the one worth looking at (and log.Fatal would skip deferred writes).
+	if *traceOut != "" {
+		if werr := writeTrace(tr, *traceOut); werr != nil {
+			log.Printf("sgxmigrate: %v", werr)
+		}
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func request(addr string, cmd hostproto.Command) (hostproto.Response, error) {
+func writeTrace(tr *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", path)
+	return nil
+}
+
+// request sends one command, parented under sp when tracing: the host sees
+// the trace context, opens its spans under it, and returns its span buffer
+// in the response for the client to merge.
+func request(tr *telemetry.Tracer, sp *telemetry.Span, addr string, cmd hostproto.Command) (hostproto.Response, error) {
+	rsp := sp.Child("client."+string(cmd.Op), telemetry.String("addr", addr))
+	cmd.TraceParent = rsp.Context().Inject()
+	resp, err := rawRequest(addr, cmd)
+	tr.Adopt(resp.Trace)
+	rsp.Fail(err)
+	return resp, err
+}
+
+func rawRequest(addr string, cmd hostproto.Command) (hostproto.Response, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return hostproto.Response{}, err
@@ -62,16 +113,18 @@ func request(addr string, cmd hostproto.Command) (hostproto.Response, error) {
 	return resp, nil
 }
 
-func manual(addr string, args []string) error {
+func manual(tr *telemetry.Tracer, addr string, args []string) (err error) {
+	sp := tr.Begin("client.manual", telemetry.String("subcommand", args[0]))
+	defer func() { sp.Fail(err) }()
 	switch args[0] {
 	case "launch":
-		resp, err := request(addr, hostproto.Command{Op: hostproto.OpLaunch, Image: args[1]})
+		resp, err := request(tr, sp, addr, hostproto.Command{Op: hostproto.OpLaunch, Image: args[1]})
 		if err != nil {
 			return err
 		}
 		fmt.Println(resp.ID)
 	case "list":
-		resp, err := request(addr, hostproto.Command{Op: hostproto.OpList})
+		resp, err := request(tr, sp, addr, hostproto.Command{Op: hostproto.OpList})
 		if err != nil {
 			return err
 		}
@@ -89,7 +142,7 @@ func manual(addr string, args []string) error {
 			v, _ := strconv.ParseUint(a, 10, 64)
 			callArgs = append(callArgs, v)
 		}
-		resp, err := request(addr, hostproto.Command{
+		resp, err := request(tr, sp, addr, hostproto.Command{
 			Op: hostproto.OpCall, ID: args[1], Worker: worker, Selector: sel, Args: callArgs,
 		})
 		if err != nil {
@@ -102,30 +155,34 @@ func manual(addr string, args []string) error {
 	return nil
 }
 
-func demo(from, to, image string) error {
+func demo(tr *telemetry.Tracer, from, to, image string) (err error) {
+	sp := tr.Begin("client.migrate",
+		telemetry.String("from", from), telemetry.String("to", to), telemetry.String("image", image))
+	defer func() { sp.Fail(err) }()
+
 	fmt.Printf("1. launching %q on %s\n", image, from)
-	resp, err := request(from, hostproto.Command{Op: hostproto.OpLaunch, Image: image})
+	resp, err := request(tr, sp, from, hostproto.Command{Op: hostproto.OpLaunch, Image: image})
 	if err != nil {
 		return err
 	}
 	id := resp.ID
 
 	fmt.Printf("2. writing state into the enclave (counter += 4242)\n")
-	if _, err := request(from, hostproto.Command{
+	if _, err := request(tr, sp, from, hostproto.Command{
 		Op: hostproto.OpCall, ID: id, Worker: 0, Selector: testapps.CounterAdd, Args: []uint64{4242},
 	}); err != nil {
 		return err
 	}
 
 	fmt.Printf("3. migrating %s from %s to %s\n", id, from, to)
-	mig, err := request(from, hostproto.Command{Op: hostproto.OpMigrateOut, ID: id, Target: to})
+	mig, err := request(tr, sp, from, hostproto.Command{Op: hostproto.OpMigrateOut, ID: id, Target: to})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("   %s\n", mig.Report)
 
 	fmt.Printf("4. source instance must be dead:\n")
-	if _, err := request(from, hostproto.Command{
+	if _, err := request(tr, sp, from, hostproto.Command{
 		Op: hostproto.OpCall, ID: id, Worker: 0, Selector: testapps.CounterGet,
 	}); err != nil {
 		fmt.Printf("   source refused the call: %v\n", err)
@@ -134,7 +191,7 @@ func demo(from, to, image string) error {
 	}
 
 	fmt.Printf("5. locating the migrated instance on %s\n", to)
-	listing, err := request(to, hostproto.Command{Op: hostproto.OpList})
+	listing, err := request(tr, sp, to, hostproto.Command{Op: hostproto.OpList})
 	if err != nil {
 		return err
 	}
@@ -148,7 +205,7 @@ func demo(from, to, image string) error {
 	if migrated == "" {
 		return fmt.Errorf("no enclave found on target")
 	}
-	got, err := request(to, hostproto.Command{
+	got, err := request(tr, sp, to, hostproto.Command{
 		Op: hostproto.OpCall, ID: migrated, Worker: 0, Selector: testapps.CounterGet,
 	})
 	if err != nil {

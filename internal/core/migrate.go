@@ -339,12 +339,18 @@ func migrateOutChannel(src *enclave.Runtime, blob []byte, t Transport, opts *Opt
 	ps := &PreparedSource{src: src, t: t, opts: opts, rep: rep, start: start}
 	ps.rep.CheckpointBytes = len(blob)
 
-	// Tell the target what to build and ship the bulk data.
+	// Tell the target what to build and ship the bulk data. The wire span
+	// isolates pure transfer time from the channel crypto that follows, so
+	// a merged cross-host trace shows where bandwidth (vs. attestation
+	// round-trips) went.
 	mr := src.Measurement()
-	if err = t.Send(Message{Kind: MsgImage, Name: src.App().Name, Blob: imageBlob(src.App().Name, mr, src.Layout().Threads)}); err != nil {
-		return nil, err
+	wireSp := sp.Child("core.wire", telemetry.Int("checkpoint_bytes", len(blob)))
+	err = t.Send(Message{Kind: MsgImage, Name: src.App().Name, Blob: imageBlob(src.App().Name, mr, src.Layout().Threads)})
+	if err == nil {
+		err = t.Send(Message{Kind: MsgCheckpoint, Blob: blob})
 	}
-	if err = t.Send(Message{Kind: MsgCheckpoint, Blob: blob}); err != nil {
+	wireSp.Fail(err)
+	if err != nil {
 		return nil, err
 	}
 

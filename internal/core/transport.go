@@ -152,6 +152,18 @@ func NewConnTransport(conn net.Conn) Transport {
 	return &connTransport{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 }
 
+// NewGobTransport wraps a connection as a Transport reusing an existing
+// encoder/decoder pair. The sgxhost handshake (hostproto.Command +
+// MachineKey exchange) already owns a gob stream on the connection, and
+// gob.NewDecoder buffers reads internally — layering a second decoder on
+// the same conn would lose whatever bytes the first one read ahead. The
+// handshake therefore hands its pair down so handshake messages, core
+// migration messages, and the trailing hostproto.TraceShipment all ride
+// one stream.
+func NewGobTransport(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder) Transport {
+	return &connTransport{conn: conn, enc: enc, dec: dec}
+}
+
 // Send implements Transport.
 func (c *connTransport) Send(m Message) error {
 	c.wmu.Lock()

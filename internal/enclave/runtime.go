@@ -150,13 +150,19 @@ type Runtime struct {
 	ctlMu sync.Mutex
 	ctlLP *sgx.LP // guarded by ctlMu
 
+	// workers is immutable after construction (written only by
+	// BuildSigned/Adopt before the Runtime escapes); the per-worker
+	// mutable state lives behind each workerState's own mu.
 	workers []*workerState
 
 	migrating atomic.Bool
 	paused    atomic.Bool
 	dead      atomic.Bool
 
-	extraFrames []sgx.FrameIndex // SECS + TCS frames (not managed by epcman)
+	// extraFrames holds the SECS + TCS frames (not managed by epcman).
+	// Appended only during construction, read by Destroy; immutable in
+	// between, so no lock guards it.
+	extraFrames []sgx.FrameIndex
 }
 
 // Build constructs, measures and initialises an enclave for app on the

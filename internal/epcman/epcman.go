@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/sgx"
 	"repro/internal/telemetry"
@@ -76,10 +77,12 @@ type Manager struct {
 	// Telemetry instruments, cached once in SetMetrics so mutating paths
 	// never take the registry lock while holding mu. All nil (and their
 	// methods no-ops) until SetMetrics is called with a live registry.
-	framesUsed *telemetry.Gauge   // guarded by mu
-	framesFree *telemetry.Gauge   // guarded by mu
-	evictCtr   *telemetry.Counter // guarded by mu
-	reloadCtr  *telemetry.Counter // guarded by mu
+	framesUsed *telemetry.Gauge     // guarded by mu
+	framesFree *telemetry.Gauge     // guarded by mu
+	evictCtr   *telemetry.Counter   // guarded by mu
+	reloadCtr  *telemetry.Counter   // guarded by mu
+	evictHist  *telemetry.Histogram // guarded by mu
+	reloadHist *telemetry.Histogram // guarded by mu
 }
 
 // FrameSource supplies extra EPC frames on demand; it returns an error when
@@ -145,8 +148,11 @@ func (g *Manager) SetFrameSource(src FrameSource) {
 
 // SetMetrics publishes the manager's frame accounting to a telemetry
 // registry: gauges epcman.frames.used / epcman.frames.free track pool
-// occupancy, counters epcman.evictions / epcman.reloads mirror Stats().
-// A nil registry leaves the manager dark (the instruments stay nil).
+// occupancy, counters epcman.evictions / epcman.reloads mirror Stats(),
+// and log-bucketed histograms epcman.evict.ns / epcman.reload.ns time the
+// EWB and ELDU paths (the /metrics snapshot derives p50/p90/p99 from
+// them). A nil registry leaves the manager dark (the instruments stay
+// nil, and the hot paths skip their clock reads).
 func (g *Manager) SetMetrics(m *telemetry.Metrics) {
 	// Registry lookups happen before taking mu so mu never nests inside
 	// the registry lock (or vice versa).
@@ -154,12 +160,20 @@ func (g *Manager) SetMetrics(m *telemetry.Metrics) {
 	free := m.Gauge("epcman.frames.free")
 	evict := m.Counter("epcman.evictions")
 	reload := m.Counter("epcman.reloads")
+	var evictHist, reloadHist *telemetry.Histogram
+	if m != nil {
+		bounds := telemetry.LogBounds(1000, 100_000_000) // 1µs .. 100ms
+		evictHist = m.Histogram("epcman.evict.ns", bounds)
+		reloadHist = m.Histogram("epcman.reload.ns", bounds)
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.framesUsed = used
 	g.framesFree = free
 	g.evictCtr = evict
 	g.reloadCtr = reload
+	g.evictHist = evictHist
+	g.reloadHist = reloadHist
 	g.publishFramesLocked()
 }
 
@@ -254,7 +268,14 @@ func (g *Manager) evictAtLocked(idx int) error {
 	if err != nil {
 		return err
 	}
+	var ewbStart time.Time
+	if g.evictHist != nil {
+		ewbStart = time.Now()
+	}
 	ev, err := g.m.EWB(victim.frame, vaFrame, vaSlot)
+	if g.evictHist != nil {
+		g.evictHist.Observe(time.Since(ewbStart).Nanoseconds())
+	}
 	if err != nil {
 		// The page may be gone already (enclave destroyed); drop the entry.
 		g.resident = append(g.resident[:idx], g.resident[idx+1:]...)
@@ -328,7 +349,15 @@ func (g *Manager) FaultIn(eid sgx.EnclaveID, lin sgx.PageNum) error {
 	if err != nil {
 		return err
 	}
-	if err := g.m.ELDU(f, sp.ev, sp.vaFrame, sp.vaSlot); err != nil {
+	var elduStart time.Time
+	if g.reloadHist != nil {
+		elduStart = time.Now()
+	}
+	err = g.m.ELDU(f, sp.ev, sp.vaFrame, sp.vaSlot)
+	if g.reloadHist != nil {
+		g.reloadHist.Observe(time.Since(elduStart).Nanoseconds())
+	}
+	if err != nil {
 		g.free = append(g.free, f)
 		return fmt.Errorf("epcman: ELDU: %w", err)
 	}

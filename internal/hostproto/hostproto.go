@@ -6,6 +6,7 @@ package hostproto
 
 import (
 	"repro/internal/tcb"
+	"repro/internal/telemetry"
 )
 
 // Op selects one daemon operation. Typing it (rather than using bare
@@ -31,6 +32,11 @@ type Command struct {
 	Worker   int
 	Selector uint64
 	Args     []uint64
+	// TraceParent carries the caller's trace context in the W3C
+	// traceparent layout (telemetry.Context.Inject); empty = untraced.
+	// The daemon parents its operation span under it, and on OpMigrateIn
+	// the source host forwards it so the target joins the same trace.
+	TraceParent string
 }
 
 // Response is the daemon's reply.
@@ -40,6 +46,18 @@ type Response struct {
 	IDs    []string
 	Regs   []uint64
 	Report string
+	// Trace is the daemon's finished span buffer for the request's trace,
+	// returned only when the request carried a TraceParent. The client
+	// Adopts it so `sgxmigrate -trace` emits one merged timeline.
+	Trace telemetry.WireTrace
+}
+
+// TraceShipment carries the migration target's span buffer back to the
+// source over the migration connection, after the core transport finishes
+// (commit or abort). It is always sent — empty when the request was
+// untraced — so the source can read one fixed trailer message.
+type TraceShipment struct {
+	Trace telemetry.WireTrace
 }
 
 // MachineKey carries a machine attestation public key during host-to-host

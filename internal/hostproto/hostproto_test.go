@@ -5,7 +5,32 @@ import (
 	"encoding/gob"
 	"reflect"
 	"testing"
+	"time"
+
+	"repro/internal/telemetry"
 )
+
+// wireTraceFixture builds a non-trivial span buffer so the trace-carrying
+// wire messages are exercised with every field populated.
+func wireTraceFixture() telemetry.WireTrace {
+	return telemetry.WireTrace{
+		Proc:          "sgxhost beta",
+		EpochUnixNano: 1_700_000_000_000_000_000,
+		Spans: []telemetry.SpanRecord{
+			{
+				Name:       "host.migratein",
+				ID:         1,
+				Track:      2,
+				TraceID:    telemetry.TraceID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+				SpanID:     telemetry.SpanID{8, 7, 6, 5, 4, 3, 2, 1},
+				ParentSpan: telemetry.SpanID{1, 1, 1, 1, 1, 1, 1, 1},
+				Start:      5 * time.Millisecond,
+				Dur:        42 * time.Millisecond,
+				Attrs:      []telemetry.Attr{{Key: "enclave", Val: "counter-1"}},
+			},
+		},
+	}
+}
 
 // TestCommandRoundTrip pins the gob wire format of Command: every field
 // (including the typed Op) survives an encode/decode cycle, and a
@@ -16,7 +41,8 @@ func TestCommandRoundTrip(t *testing.T) {
 		{Op: OpCall, ID: "enclave-7", Worker: 3, Selector: 0xdead, Args: []uint64{1, 2, 3}},
 		{Op: OpList},
 		{Op: OpMigrateOut, ID: "enclave-7", Target: "host-b:7001"},
-		{Op: OpMigrateIn, ID: "enclave-7"},
+		{Op: OpMigrateIn, ID: "enclave-7",
+			TraceParent: "00-0102030405060708090a0b0c0d0e0f10-0807060504030201-01"},
 	}
 	for _, in := range cmds {
 		var buf bytes.Buffer
@@ -47,6 +73,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Regs: []uint64{0xcafe, 0xf00d}},
 		{Report: "quote-json"},
 		{Err: "no enclave \"x\""},
+		{Report: "total=1ms", Trace: wireTraceFixture()},
 	}
 	for i, in := range resps {
 		var buf bytes.Buffer
@@ -62,6 +89,37 @@ func TestResponseRoundTrip(t *testing.T) {
 			t.Errorf("round trip changed response: %+v != %+v", out, in)
 		}
 		var trunc Response
+		if err := gob.NewDecoder(bytes.NewReader(full[:len(full)/2])).Decode(&trunc); err == nil {
+			t.Errorf("truncated frame #%d decoded to %+v, want error", i, trunc)
+		}
+	}
+}
+
+// TestTraceShipmentRoundTrip pins the gob wire format of TraceShipment —
+// the migration trailer carrying the target's span buffer — including the
+// always-sent empty form and a truncated-frame rejection.
+func TestTraceShipmentRoundTrip(t *testing.T) {
+	ships := []TraceShipment{
+		{}, // untraced migration: empty trailer
+		{Trace: wireTraceFixture()},
+	}
+	for i, in := range ships {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+			t.Fatalf("encode #%d: %v", i, err)
+		}
+		full := append([]byte(nil), buf.Bytes()...)
+		var out TraceShipment
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode #%d: %v", i, err)
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Errorf("round trip changed shipment: %+v != %+v", out, in)
+		}
+		if i == 0 != out.Trace.Empty() {
+			t.Errorf("shipment #%d Empty() = %v", i, out.Trace.Empty())
+		}
+		var trunc TraceShipment
 		if err := gob.NewDecoder(bytes.NewReader(full[:len(full)/2])).Decode(&trunc); err == nil {
 			t.Errorf("truncated frame #%d decoded to %+v, want error", i, trunc)
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // chromeEvent is one entry of the Chrome trace-event format's traceEvents
@@ -29,12 +30,88 @@ type chromeTrace struct {
 
 const chromePID = 1
 
+// WireTrace is a span buffer in transit between processes: the target
+// host's contribution to a migration trace, shipped back to the source at
+// commit/abort and folded into the local tracer with Adopt. It is part of
+// the hostproto wire surface (gob-encoded inside Response and the
+// TraceShipment message).
+type WireTrace struct {
+	// Proc names the originating process ("sgxhost tokyo"); the merged
+	// Chrome trace renders each Proc as its own process group.
+	Proc string
+	// EpochUnixNano is the sender's tracer epoch in Unix nanoseconds.
+	// Span Starts are offsets from it; Adopt rebases them onto the local
+	// epoch, which assumes the hosts' wall clocks are comparable (NTP) —
+	// fine for the localhost and same-rack deployments this targets.
+	EpochUnixNano int64
+	Spans         []SpanRecord
+}
+
+// Empty reports whether the shipment carries no spans.
+func (wt WireTrace) Empty() bool { return len(wt.Spans) == 0 }
+
+// ExportTrace copies the finished spans of one trace for shipment to
+// another process. A nil tracer or zero id exports an empty WireTrace.
+// Live (unfinished) spans are not exported: shipment happens at
+// commit/abort, after the sender ended its spans.
+func (t *Tracer) ExportTrace(id TraceID) WireTrace {
+	if t == nil || id.IsZero() {
+		return WireTrace{}
+	}
+	wt := WireTrace{EpochUnixNano: t.epoch.UnixNano()}
+	t.mu.Lock()
+	for _, r := range t.done {
+		if r.TraceID == id {
+			wt.Spans = append(wt.Spans, r)
+		}
+	}
+	t.mu.Unlock()
+	return wt
+}
+
+// Adopt folds a shipped span buffer into this tracer's finished-span
+// buffer, rebasing Starts from the remote epoch onto the local one and
+// remapping the remote tracks onto fresh local tracks (remote track
+// numbers would collide with local ones). The remote spans' local ID/
+// Parent handles are zeroed — they index the remote tracer's allocation
+// order, which means nothing here; cross-process structure lives in the
+// SpanID/ParentSpan links, which are preserved. Safe on a nil tracer.
+func (t *Tracer) Adopt(wt WireTrace) {
+	if t == nil || wt.Empty() {
+		return
+	}
+	delta := time.Duration(wt.EpochUnixNano - t.epoch.UnixNano())
+	trackMap := make(map[uint64]uint64)
+	recs := make([]SpanRecord, 0, len(wt.Spans))
+	for _, r := range wt.Spans {
+		nt, ok := trackMap[r.Track]
+		if !ok {
+			nt = t.tracks.Add(1)
+			trackMap[r.Track] = nt
+		}
+		r.Track = nt
+		r.ID = 0
+		r.Parent = 0
+		r.Start += delta
+		if r.Proc == "" {
+			r.Proc = wt.Proc
+		}
+		recs = append(recs, r)
+	}
+	t.mu.Lock()
+	t.done = append(t.done, recs...)
+	t.mu.Unlock()
+}
+
 // WriteChromeTrace writes every span — completed and still-running — in
 // the Chrome trace-event JSON format, loadable in chrome://tracing and
 // https://ui.perfetto.dev. Tracks map to trace "threads": Child spans
 // share the parent's row, Fork spans get their own, so phase overlap
 // (dump vs. pre-copy) is visible as horizontally overlapping bars on
-// separate rows. A nil tracer writes an empty, valid trace.
+// separate rows. Spans merged in from other processes (Adopt) render
+// under their own process group, named after WireTrace.Proc, so a merged
+// migration trace shows source, wire, and target tracks side by side.
+// A nil tracer writes an empty, valid trace.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
 	if t == nil {
@@ -54,21 +131,46 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		return recs[i].ID < recs[j].ID
 	})
 
+	// Local spans render as pid 1 "sgxmig"; each remote Proc gets the next
+	// pid, assigned in sorted order so output is deterministic.
+	pids := map[string]uint64{"": chromePID}
+	var procs []string
+	for _, r := range recs {
+		if _, ok := pids[r.Proc]; !ok {
+			pids[r.Proc] = 0
+			procs = append(procs, r.Proc)
+		}
+	}
+	sort.Strings(procs)
+	for i, p := range procs {
+		pids[p] = chromePID + 1 + uint64(i)
+	}
 	trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
 		Name: "process_name", Ph: "M", PID: chromePID,
 		Args: map[string]string{"name": "sgxmig"},
 	})
+	for _, p := range procs {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pids[p],
+			Args: map[string]string{"name": p},
+		})
+	}
 	// Name each track after the first span that opened it, so Perfetto's
 	// row labels read "vmm.livemigrate", "vmm.dump", ... instead of
 	// bare numbers.
-	trackNamed := make(map[uint64]bool)
+	type trackKey struct {
+		pid   uint64
+		track uint64
+	}
+	trackNamed := make(map[trackKey]bool)
 	for _, r := range recs {
-		if trackNamed[r.Track] {
+		k := trackKey{pids[r.Proc], r.Track}
+		if trackNamed[k] {
 			continue
 		}
-		trackNamed[r.Track] = true
+		trackNamed[k] = true
 		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: chromePID, TID: r.Track,
+			Name: "thread_name", Ph: "M", PID: k.pid, TID: r.Track,
 			Args: map[string]string{"name": r.Name},
 		})
 	}
@@ -79,20 +181,30 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Ph:   "X",
 			Ts:   float64(r.Start.Nanoseconds()) / 1e3,
 			Dur:  float64(r.Dur.Nanoseconds()) / 1e3,
-			PID:  chromePID,
+			PID:  pids[r.Proc],
 			TID:  r.Track,
 		}
 		if r.Dur == 0 {
 			ev.Ph = "B" // still running at export time
 		}
-		if len(r.Attrs) > 0 || r.Parent != 0 {
-			ev.Args = make(map[string]string, len(r.Attrs)+1)
-			for _, a := range r.Attrs {
-				ev.Args[a.Key] = a.Val
-			}
-			if r.Parent != 0 {
-				ev.Args["parent_span"] = strconv.FormatUint(r.Parent, 10)
-			}
+		ev.Args = make(map[string]string, len(r.Attrs)+4)
+		for _, a := range r.Attrs {
+			ev.Args[a.Key] = a.Val
+		}
+		if r.Parent != 0 {
+			ev.Args["parent_span"] = strconv.FormatUint(r.Parent, 10)
+		}
+		if !r.TraceID.IsZero() {
+			ev.Args["trace_id"] = r.TraceID.String()
+		}
+		if !r.SpanID.IsZero() {
+			ev.Args["span_id"] = r.SpanID.String()
+		}
+		if !r.ParentSpan.IsZero() {
+			ev.Args["parent_span_id"] = r.ParentSpan.String()
+		}
+		if len(ev.Args) == 0 {
+			ev.Args = nil
 		}
 		trace.TraceEvents = append(trace.TraceEvents, ev)
 	}

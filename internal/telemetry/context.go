@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceID identifies one distributed trace: every span of one migration —
+// client, source host, wire, target host — carries the same TraceID, which
+// is what lets the exporters merge buffers from several processes into a
+// single timeline.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits (the traceparent form).
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace, unique across processes with
+// overwhelming probability (IDs are drawn from a per-tracer seeded stream).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits (the traceparent form).
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// Context is the portable trace context: enough to parent a span opened in
+// another process under a span opened here. It crosses process boundaries
+// as a W3C-traceparent-style header string via Inject/Extract, and rides
+// hostproto.Command.TraceParent between sgxmigrate and the sgxhost daemons.
+type Context struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Sampled carries the head-based sampling decision: the process that
+	// roots the trace decides once, and every downstream process honors it
+	// (see Tracer.SetSampling).
+	Sampled bool
+}
+
+// traceparentVersion is the only version Inject emits and Extract accepts,
+// mirroring W3C trace-context level 1.
+const traceparentVersion = "00"
+
+// Inject renders the context in the W3C traceparent layout,
+// "00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>" (flag bit 0 =
+// sampled). A zero context injects as "", the untraced request.
+func (c Context) Inject() string {
+	if c.TraceID.IsZero() || c.SpanID.IsZero() {
+		return ""
+	}
+	flags := "00"
+	if c.Sampled {
+		flags = "01"
+	}
+	return traceparentVersion + "-" + c.TraceID.String() + "-" + c.SpanID.String() + "-" + flags
+}
+
+// Extract parses an Inject-formatted header. The empty string is the
+// untraced request and extracts to the zero Context with no error; a
+// malformed or all-zero header is an error so protocol tests can tell
+// "absent" from "corrupt".
+func Extract(header string) (Context, error) {
+	if header == "" {
+		return Context{}, nil
+	}
+	parts := strings.Split(header, "-")
+	if len(parts) != 4 {
+		return Context{}, fmt.Errorf("telemetry: traceparent %q: want 4 dash-separated fields, got %d", header, len(parts))
+	}
+	if parts[0] != traceparentVersion {
+		return Context{}, fmt.Errorf("telemetry: traceparent version %q not supported", parts[0])
+	}
+	var c Context
+	if n, err := hex.Decode(c.TraceID[:], []byte(parts[1])); err != nil || n != len(c.TraceID) {
+		return Context{}, fmt.Errorf("telemetry: traceparent trace-id %q is not 32 hex digits", parts[1])
+	}
+	if n, err := hex.Decode(c.SpanID[:], []byte(parts[2])); err != nil || n != len(c.SpanID) {
+		return Context{}, fmt.Errorf("telemetry: traceparent span-id %q is not 16 hex digits", parts[2])
+	}
+	if len(parts[3]) != 2 {
+		return Context{}, fmt.Errorf("telemetry: traceparent flags %q are not 2 hex digits", parts[3])
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(parts[3])); err != nil {
+		return Context{}, fmt.Errorf("telemetry: traceparent flags %q are not 2 hex digits", parts[3])
+	}
+	if c.TraceID.IsZero() || c.SpanID.IsZero() {
+		return Context{}, fmt.Errorf("telemetry: traceparent %q has an all-zero id", header)
+	}
+	c.Sampled = flags[0]&1 != 0
+	return c, nil
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection
+// used to derive span and trace IDs from (per-tracer seed, span counter)
+// pairs. Deriving IDs instead of drawing randomness keeps a seeded tracer
+// fully deterministic, so tests can pin exact IDs.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// newSpanID derives the n-th span ID of this tracer's stream.
+func (t *Tracer) newSpanID(n uint64) SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], mix64(t.seed+2*n))
+	if id.IsZero() {
+		id[7] = 1
+	}
+	return id
+}
+
+// newTraceID derives a fresh trace ID for a root span (the n-th span of
+// this tracer).
+func (t *Tracer) newTraceID(n uint64) TraceID {
+	var id TraceID
+	hi := mix64(t.seed + 2*n + 1)
+	binary.BigEndian.PutUint64(id[:8], hi)
+	binary.BigEndian.PutUint64(id[8:], mix64(hi))
+	if id.IsZero() {
+		id[15] = 1
+	}
+	return id
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestContextInjectExtractRoundTrip(t *testing.T) {
+	tr := NewSeeded(42)
+	sp := tr.Begin("root")
+	ctx := sp.Context()
+	if ctx.TraceID.IsZero() || ctx.SpanID.IsZero() {
+		t.Fatalf("span context has zero ids: %+v", ctx)
+	}
+	if !ctx.Sampled {
+		t.Fatalf("default sampling should keep the trace")
+	}
+
+	header := ctx.Inject()
+	if !strings.HasPrefix(header, "00-") {
+		t.Fatalf("Inject() = %q, want 00- prefix", header)
+	}
+	if got := len(header); got != 2+1+32+1+16+1+2 {
+		t.Fatalf("Inject() length = %d (%q), want 55", got, header)
+	}
+	back, err := Extract(header)
+	if err != nil {
+		t.Fatalf("Extract(%q): %v", header, err)
+	}
+	if back != ctx {
+		t.Fatalf("round trip mismatch: %+v != %+v", back, ctx)
+	}
+	sp.End()
+}
+
+func TestContextZeroAndUntraced(t *testing.T) {
+	var zero Context
+	if got := zero.Inject(); got != "" {
+		t.Fatalf("zero Context injects %q, want empty", got)
+	}
+	ctx, err := Extract("")
+	if err != nil {
+		t.Fatalf("Extract(\"\"): %v", err)
+	}
+	if ctx != (Context{}) {
+		t.Fatalf("Extract(\"\") = %+v, want zero", ctx)
+	}
+	var nilSpan *Span
+	if got := nilSpan.Context(); got != (Context{}) {
+		t.Fatalf("nil span Context() = %+v, want zero", got)
+	}
+}
+
+func TestExtractRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"00-abc",
+		"01-0123456789abcdef0123456789abcdef-0123456789abcdef-01", // unknown version
+		"00-0123456789abcdef0123456789abcde-0123456789abcdef-01",  // short trace id
+		"00-0123456789abcdef0123456789abcdef-0123456789abcde-01",  // short span id
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef-0",  // short flags
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef-zz",
+		"00-00000000000000000000000000000000-0123456789abcdef-01", // zero trace id
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // zero span id
+	}
+	for _, h := range bad {
+		if _, err := Extract(h); err == nil {
+			t.Errorf("Extract(%q) succeeded, want error", h)
+		}
+	}
+}
+
+func TestExtractSampledFlag(t *testing.T) {
+	on, err := Extract("00-0123456789abcdef0123456789abcdef-0123456789abcdef-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on.Sampled {
+		t.Errorf("flags 01: Sampled = false, want true")
+	}
+	off, err := Extract("00-0123456789abcdef0123456789abcdef-0123456789abcdef-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Sampled {
+		t.Errorf("flags 00: Sampled = true, want false")
+	}
+}
+
+func TestSeededIDsDeterministic(t *testing.T) {
+	mk := func() (TraceID, SpanID, SpanID) {
+		tr := NewSeeded(7)
+		a := tr.Begin("a")
+		b := a.Child("b")
+		actx, bctx := a.Context(), b.Context()
+		b.End()
+		a.End()
+		return actx.TraceID, actx.SpanID, bctx.SpanID
+	}
+	t1, s1, c1 := mk()
+	t2, s2, c2 := mk()
+	if t1 != t2 || s1 != s2 || c1 != c2 {
+		t.Fatalf("seeded tracer not deterministic: (%v,%v,%v) != (%v,%v,%v)", t1, s1, c1, t2, s2, c2)
+	}
+	tr3 := NewSeeded(8)
+	o := tr3.Begin("a")
+	if o.Context().TraceID == t1 {
+		t.Fatalf("different seeds produced the same TraceID")
+	}
+	o.End()
+}
+
+func TestChildSpansShareTraceID(t *testing.T) {
+	tr := NewSeeded(1)
+	root := tr.Begin("root")
+	child := root.Child("child")
+	fork := root.Fork("fork")
+	want := root.Context().TraceID
+	for name, sp := range map[string]*Span{"child": child, "fork": fork} {
+		if got := sp.Context().TraceID; got != want {
+			t.Errorf("%s TraceID = %v, want %v", name, got, want)
+		}
+		if got := sp.parentSpan; got != root.Context().SpanID {
+			t.Errorf("%s ParentSpan = %v, want root %v", name, got, root.Context().SpanID)
+		}
+	}
+	fork.End()
+	child.End()
+	root.End()
+	for _, r := range tr.Completed() {
+		if r.TraceID != want {
+			t.Errorf("record %q TraceID = %v, want %v", r.Name, r.TraceID, want)
+		}
+		if r.SpanID.IsZero() {
+			t.Errorf("record %q has zero SpanID", r.Name)
+		}
+	}
+}
+
+func TestBeginRemoteAdoptsContext(t *testing.T) {
+	src := NewSeeded(10)
+	dst := NewSeeded(20)
+	parent := src.Begin("client.migrate")
+	header := parent.Context().Inject()
+	ctx, err := Extract(header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := dst.BeginRemote("host.migratein", ctx)
+	if got, want := remote.Context().TraceID, parent.Context().TraceID; got != want {
+		t.Fatalf("remote TraceID = %v, want %v", got, want)
+	}
+	if got, want := remote.parentSpan, parent.Context().SpanID; got != want {
+		t.Fatalf("remote ParentSpan = %v, want %v", got, want)
+	}
+	remote.End()
+	parent.End()
+
+	// Zero context degrades to a locally-rooted trace.
+	local := dst.BeginRemote("host.launch", Context{})
+	if local.Context().TraceID.IsZero() {
+		t.Fatalf("BeginRemote with zero context produced zero TraceID")
+	}
+	if local.Context().TraceID == parent.Context().TraceID {
+		t.Fatalf("BeginRemote with zero context reused the remote TraceID")
+	}
+	local.End()
+}

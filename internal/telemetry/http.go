@@ -3,17 +3,22 @@ package telemetry
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Handler serves the live observability endpoints:
 //
-//	GET /metrics      plain-text snapshot of every instrument
-//	GET /debug/trace  Chrome trace-event JSON of every span so far
-//	GET /             a short index
+//	GET /metrics       plain-text snapshot of every instrument
+//	GET /debug/trace   Chrome trace-event JSON of every span so far
+//	GET /debug/pprof/  net/http/pprof profiles (CPU, heap, goroutine, ...)
+//	GET /              a short index
 //
 // cmd/sgxhost mounts it behind the -telemetry-addr flag. Either argument
 // may be nil; the endpoints then serve the empty disabled forms, so a
-// scraper never sees a 500 just because a subsystem is dark.
+// scraper never sees a 500 just because a subsystem is dark. pprof is
+// mounted explicitly on this mux (not the http.DefaultServeMux side
+// effect), so profiles come from the same port as /metrics and are only
+// exposed when the operator opted into a telemetry listener.
 func Handler(tr *Tracer, m *Metrics) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -25,13 +30,18 @@ func Handler(tr *Tracer, m *Metrics) http.Handler {
 		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
 		_ = tr.WriteChromeTrace(w)
 	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "sgxmig telemetry\n\n/metrics      instrument snapshot\n/debug/trace  Chrome trace JSON (%d spans done, %d running)\n",
+		fmt.Fprintf(w, "sgxmig telemetry\n\n/metrics      instrument snapshot\n/debug/trace  Chrome trace JSON (%d spans done, %d running)\n/debug/pprof/ runtime profiles\n",
 			len(tr.Completed()), tr.ActiveCount())
 	})
 	return mux

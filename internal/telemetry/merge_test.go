@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// twoHostTrace simulates the client→source→target shipment chain in one
+// process: a client roots the trace, the "target" tracer opens spans under
+// the propagated context, exports them, and the client adopts the buffer.
+func twoHostTrace(t *testing.T) (*Tracer, TraceID) {
+	t.Helper()
+	client := NewSeeded(100)
+	target := NewSeeded(200)
+
+	root := client.Begin("client.migrate")
+	ctx, err := Extract(root.Context().Inject())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := target.BeginRemote("host.migratein", ctx)
+	restore := in.Child("core.restore")
+	restore.End()
+	in.End()
+
+	wt := target.ExportTrace(ctx.TraceID)
+	wt.Proc = "sgxhost target"
+	client.Adopt(wt)
+	root.End()
+	return client, ctx.TraceID
+}
+
+func TestExportAdoptMerge(t *testing.T) {
+	client, traceID := twoHostTrace(t)
+	recs := client.Completed()
+	if len(recs) != 3 {
+		t.Fatalf("merged buffer has %d spans, want 3: %+v", len(recs), recs)
+	}
+	names := map[string]SpanRecord{}
+	for _, r := range recs {
+		if r.TraceID != traceID {
+			t.Errorf("span %q TraceID = %v, want %v", r.Name, r.TraceID, traceID)
+		}
+		names[r.Name] = r
+	}
+	for _, want := range []string{"client.migrate", "host.migratein", "core.restore"} {
+		if _, ok := names[want]; !ok {
+			t.Fatalf("merged trace missing span %q; have %v", want, names)
+		}
+	}
+	// Cross-process parentage survives via SpanID links even though local
+	// ID/Parent handles were zeroed on adoption.
+	if got, want := names["host.migratein"].ParentSpan, names["client.migrate"].SpanID; got != want {
+		t.Errorf("host.migratein ParentSpan = %v, want client span %v", got, want)
+	}
+	if names["host.migratein"].ID != 0 || names["host.migratein"].Parent != 0 {
+		t.Errorf("adopted span kept remote-local handles: %+v", names["host.migratein"])
+	}
+	if got := names["host.migratein"].Proc; got != "sgxhost target" {
+		t.Errorf("adopted span Proc = %q, want %q", got, "sgxhost target")
+	}
+	if got := names["client.migrate"].Proc; got != "" {
+		t.Errorf("local span Proc = %q, want empty", got)
+	}
+	// Adopted tracks were remapped onto fresh local tracks.
+	if names["host.migratein"].Track == names["client.migrate"].Track {
+		t.Errorf("adopted span shares a local track")
+	}
+}
+
+func TestMergedChromeTraceProcesses(t *testing.T) {
+	client, traceID := twoHostTrace(t)
+	var buf bytes.Buffer
+	if err := client.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			PID  uint64            `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	procNames := map[string]uint64{}
+	traceIDs := map[string]bool{}
+	spansByName := map[string]uint64{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procNames[ev.Args["name"]] = ev.PID
+		}
+		if ev.Ph == "X" || ev.Ph == "B" {
+			if id := ev.Args["trace_id"]; id != "" {
+				traceIDs[id] = true
+			}
+			spansByName[ev.Name] = ev.PID
+		}
+	}
+	if len(traceIDs) != 1 || !traceIDs[traceID.String()] {
+		t.Fatalf("merged trace has trace_ids %v, want exactly {%s}", traceIDs, traceID)
+	}
+	localPID, ok := procNames["sgxmig"]
+	if !ok {
+		t.Fatalf("missing sgxmig process metadata: %v", procNames)
+	}
+	targetPID, ok := procNames["sgxhost target"]
+	if !ok {
+		t.Fatalf("missing target process metadata: %v", procNames)
+	}
+	if localPID == targetPID {
+		t.Fatalf("local and target share pid %d", localPID)
+	}
+	if got := spansByName["client.migrate"]; got != localPID {
+		t.Errorf("client.migrate on pid %d, want %d", got, localPID)
+	}
+	if got := spansByName["host.migratein"]; got != targetPID {
+		t.Errorf("host.migratein on pid %d, want %d", got, targetPID)
+	}
+	if got := spansByName["core.restore"]; got != targetPID {
+		t.Errorf("core.restore on pid %d, want %d", got, targetPID)
+	}
+}
+
+func TestExportTraceFilters(t *testing.T) {
+	tr := NewSeeded(11)
+	a := tr.Begin("a")
+	b := tr.Begin("b")
+	a.End()
+	b.End()
+	wt := tr.ExportTrace(a.Context().TraceID)
+	if len(wt.Spans) != 1 || wt.Spans[0].Name != "a" {
+		t.Fatalf("ExportTrace leaked foreign spans: %+v", wt.Spans)
+	}
+	if !tr.ExportTrace(TraceID{}).Empty() {
+		t.Fatalf("ExportTrace(zero) not empty")
+	}
+	var nilT *Tracer
+	if !nilT.ExportTrace(a.Context().TraceID).Empty() {
+		t.Fatalf("nil tracer ExportTrace not empty")
+	}
+	nilT.Adopt(wt) // must not panic
+}
+
+func TestHTTPHandlerPprof(t *testing.T) {
+	h := Handler(New(), NewMetrics())
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", rec.Code)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("goroutine")) {
+		t.Fatalf("pprof index missing profile listing:\n%s", rec.Body.String())
+	}
+}

@@ -242,7 +242,8 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(hists) {
 		s := hists[name].Snapshot()
-		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%d\n", name, s.Count, s.Sum); err != nil {
+		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%d p50=%d p90=%d p99=%d\n",
+			name, s.Count, s.Sum, int64(s.Quantile(0.50)), int64(s.Quantile(0.90)), int64(s.Quantile(0.99))); err != nil {
 			return err
 		}
 		for i, b := range s.Bounds {

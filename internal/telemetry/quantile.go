@@ -1,0 +1,90 @@
+package telemetry
+
+import "math"
+
+// Quantile estimation over bucketed histograms. Fixed buckets give exact
+// counts but coarse quantiles; LogBounds trades one bucket per doubling
+// for a bounded relative error (the estimate is within 2x of the true
+// value at any scale), which is the usual deal for latency distributions
+// whose tail spans several orders of magnitude — exactly the shape the
+// page-copy and EPC-eviction timings have.
+
+// LogBounds builds power-of-two histogram bounds covering [lo, hi]:
+// max(lo,1), then doubling until a bound >= hi is included. With
+// nanosecond observations, LogBounds(1e3, 1e9) spans 1µs..~1s in 21
+// buckets. The slice is freshly allocated and sorted ascending, ready for
+// Metrics.Histogram.
+func LogBounds(lo, hi int64) []int64 {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	var bounds []int64
+	v := lo
+	for {
+		bounds = append(bounds, v)
+		if v >= hi || v > math.MaxInt64/2 {
+			return bounds
+		}
+		v *= 2
+	}
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation within the bucket holding the
+// rank-q observation. Observations that landed in the overflow bucket are
+// attributed to its lower edge (the largest bound) — the histogram has no
+// upper limit to interpolate toward, so tail quantiles beyond the last
+// bound are underestimates, visible as the estimate pinning at the top
+// bound. An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next {
+			cum = next
+			continue
+		}
+		var lower float64
+		if i > 0 {
+			lower = float64(s.Bounds[i-1])
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no upper edge to interpolate toward.
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		upper := float64(s.Bounds[i])
+		frac := (rank - cum) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		cum = next
+		return lower + (upper-lower)*frac
+	}
+	// All counts consumed without reaching rank (concurrent-update skew):
+	// fall back to the top edge.
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
+// Quantile estimates the q-th quantile of the live histogram. Safe on a
+// nil histogram (returns 0).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}

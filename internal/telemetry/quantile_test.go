@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogBounds(t *testing.T) {
+	got := LogBounds(1000, 16000)
+	want := []int64{1000, 2000, 4000, 8000, 16000}
+	if len(got) != len(want) {
+		t.Fatalf("LogBounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LogBounds = %v, want %v", got, want)
+		}
+	}
+	if got := LogBounds(0, 4); len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Fatalf("LogBounds(0,4) = %v, want [1 2 4]", got)
+	}
+	if got := LogBounds(5, 1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("LogBounds(5,1) = %v, want [5]", got)
+	}
+	// hi beyond the overflow guard terminates rather than wrapping.
+	huge := LogBounds(1, 1<<62+1)
+	if len(huge) == 0 || huge[len(huge)-1] < 1<<62 {
+		t.Fatalf("LogBounds overflow guard broken: tail %v", huge[len(huge)-1])
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	h := NewHistogram(LogBounds(1, 1024))
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	// Log buckets bound the relative error at 2x; check the estimates land
+	// within the bucket that truly holds the quantile.
+	checks := []struct {
+		q        float64
+		lo, hi   float64
+		trueward float64
+	}{
+		{0.50, 256, 512, 500},
+		{0.90, 512, 1024, 900},
+		{0.99, 512, 1024, 990},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.lo || got > c.hi {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v] (true %v)", c.q, got, c.lo, c.hi, c.trueward)
+		}
+	}
+	if got := h.Quantile(0); got < 0 || got > 1 {
+		t.Errorf("Quantile(0) = %v, want first bucket", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %v, want 0", got)
+	}
+	empty := NewHistogram([]int64{10, 20})
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+	// All mass in the overflow bucket pins to the top bound.
+	over := NewHistogram([]int64{10, 20})
+	over.Observe(1000)
+	over.Observe(2000)
+	if got := over.Quantile(0.5); got != 20 {
+		t.Errorf("overflow-only Quantile = %v, want 20 (top bound)", got)
+	}
+	// Out-of-range q clamps.
+	one := NewHistogram([]int64{10})
+	one.Observe(5)
+	if got := one.Quantile(-1); got < 0 || got > 10 {
+		t.Errorf("Quantile(-1) = %v, want clamped into [0,10]", got)
+	}
+	if got := one.Quantile(2); got < 0 || got > 10 {
+		t.Errorf("Quantile(2) = %v, want clamped into [0,10]", got)
+	}
+}
+
+func TestWriteTextQuantileColumns(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("lat.ns", LogBounds(1, 64))
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := m.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	line := sb.String()
+	for _, col := range []string{"p50=", "p90=", "p99="} {
+		if !strings.Contains(line, col) {
+			t.Errorf("WriteText missing %s column:\n%s", col, line)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Head-based sampling: the process that roots a trace decides once, at
+// Begin, whether the trace is kept, and the decision travels with the
+// Context so downstream processes agree. Unsampled spans still run (Child/
+// Fork/Annotate all work, ActiveCount still leak-checks them) but their
+// finished records are parked in a per-trace pending buffer instead of the
+// export buffer; when the trace's last span ends the buffer is dropped —
+// unless some span in the trace Failed with a non-nil error, in which case
+// the whole trace is promoted to the export buffer. That "always keep on
+// error" escape hatch is what makes p ≪ 1 safe for always-on production
+// tracing: the traces someone will actually want to look at survive.
+
+// traceState tracks one unsampled trace until its last span ends.
+type traceState struct {
+	open    int          // spans begun but not yet ended
+	failed  bool         // some span Failed with a non-nil error
+	pending []SpanRecord // finished spans, awaiting the keep/drop decision
+}
+
+// SetSampling installs the head-based sampling probability for traces
+// rooted at this tracer from now on: 1 (the default) keeps everything,
+// 0 keeps only failed traces, values in between keep that fraction —
+// decided deterministically from the TraceID, so all tracers holding the
+// same trace agree. Remotely-rooted spans (BeginRemote with a non-zero
+// context) ignore p and honor the root's decision. Safe on a nil tracer.
+func (t *Tracer) SetSampling(p float64) {
+	if t == nil {
+		return
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	t.sampleP.Store(math.Float64bits(p))
+}
+
+// sampleTrace makes the head decision for a locally-rooted trace. The
+// decision is a pure function of (p, TraceID): the top 53 bits of the ID
+// map to [0,1) and are compared against p.
+func (t *Tracer) sampleTrace(id TraceID) bool {
+	p := math.Float64frombits(t.sampleP.Load())
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	v := binary.BigEndian.Uint64(id[:8])
+	return float64(v>>11)/(1<<53) < p
+}
+
+// trackUnsampledLocked notes one more open span in an unsampled trace,
+// creating the trace's state on first use. t.mu must be held.
+func (t *Tracer) trackUnsampledLocked(root uint64) {
+	st := t.traces[root]
+	if st == nil {
+		st = &traceState{}
+		t.traces[root] = st
+	}
+	st.open++
+}
+
+// markTraceFailed flags an unsampled trace for promotion: it will be kept
+// when it completes. Called by Span.Fail before End files the record.
+func (t *Tracer) markTraceFailed(s *Span) {
+	if t == nil || s.sampled {
+		return
+	}
+	t.mu.Lock()
+	if st := t.traces[s.root]; st != nil {
+		st.failed = true
+	}
+	t.mu.Unlock()
+}
+
+// recordUnsampledLocked files a finished span of an unsampled trace and
+// resolves the trace when its last span ends. t.mu must be held.
+func (t *Tracer) recordUnsampledLocked(root uint64, rec SpanRecord) {
+	st := t.traces[root]
+	if st == nil {
+		return // trace already resolved; a duplicate End lost the race
+	}
+	st.pending = append(st.pending, rec)
+	st.open--
+	if st.open > 0 {
+		return
+	}
+	if st.failed {
+		t.done = append(t.done, st.pending...)
+	}
+	delete(t.traces, root)
+}

@@ -1,8 +1,17 @@
 // Package telemetry is the repository's zero-dependency observability
 // layer: a goroutine-safe span tracer and a metrics registry (counters,
-// gauges, fixed-bucket histograms), with exporters for the Chrome
-// trace-event JSON format (chrome://tracing, https://ui.perfetto.dev), a
-// plain-text snapshot dump, and a live HTTP handler.
+// gauges, fixed- and log-bucketed histograms with quantile estimates),
+// with exporters for the Chrome trace-event JSON format
+// (chrome://tracing, https://ui.perfetto.dev), a plain-text snapshot dump,
+// and a live HTTP handler that also mounts net/http/pprof.
+//
+// Traces are distributed: every span carries a TraceID/SpanID pair, the
+// Context Inject/Extract helpers move them across process boundaries in a
+// W3C-traceparent-style header, BeginRemote parents a local span under a
+// remote one, and WireTrace/ExportTrace/Adopt ship finished span buffers
+// between processes so an sgxhost→sgxhost migration exports as one merged
+// trace. Head-based sampling (SetSampling) with always-keep-on-error makes
+// tracing cheap enough to leave on permanently.
 //
 // The disabled state is the nil pointer: every method on *Tracer, *Span
 // and the metric instruments is a safe no-op on a nil receiver, so
@@ -16,6 +25,7 @@
 package telemetry
 
 import (
+	"math"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -44,63 +54,149 @@ func Duration(key string, d time.Duration) Attr { return Attr{Key: key, Val: d.S
 // SpanRecord is one finished (or, during live export, still-running) span
 // as the exporters and tests see it. Start is the offset from the
 // tracer's epoch; Dur is zero while the span is running.
+//
+// ID/Parent/Track are process-local (compact, allocation-order) handles;
+// TraceID/SpanID/ParentSpan are the globally-unique identities that
+// survive shipment to another process. Proc is empty for locally-recorded
+// spans and names the originating process on spans merged in via Adopt.
 type SpanRecord struct {
-	Name   string
-	ID     uint64
-	Parent uint64 // 0 for root spans
-	Track  uint64 // rendering row; children inherit it, Fork opens a new one
-	Start  time.Duration
-	Dur    time.Duration
-	Attrs  []Attr
+	Name       string
+	ID         uint64
+	Parent     uint64 // 0 for root spans
+	Track      uint64 // rendering row; children inherit it, Fork opens a new one
+	TraceID    TraceID
+	SpanID     SpanID
+	ParentSpan SpanID // zero for trace roots; may name a span in another process
+	Proc       string // originating process for adopted spans; "" = this process
+	Start      time.Duration
+	Dur        time.Duration
+	Attrs      []Attr
 }
 
 // Tracer collects spans. A nil *Tracer is the no-op tracer: Begin returns
 // a nil *Span and the whole span API degenerates to nil checks.
 type Tracer struct {
-	epoch  time.Time
-	ids    atomic.Uint64
-	tracks atomic.Uint64
+	epoch   time.Time
+	seed    uint64 // ID-derivation seed; immutable after construction
+	ids     atomic.Uint64
+	tracks  atomic.Uint64
+	sampleP atomic.Uint64 // math.Float64bits of the sampling probability
 
-	mu   sync.Mutex
-	done []SpanRecord     // guarded by mu
-	live map[uint64]*Span // guarded by mu
+	mu     sync.Mutex
+	done   []SpanRecord           // guarded by mu
+	live   map[uint64]*Span       // guarded by mu
+	traces map[uint64]*traceState // guarded by mu; unsampled in-flight traces
 }
 
-// New returns an enabled tracer whose span timestamps are relative to now.
+// tracerSeeds differentiates tracers created in the same nanosecond.
+var tracerSeeds atomic.Uint64
+
+// New returns an enabled tracer whose span timestamps are relative to now
+// and whose IDs are drawn from a time-derived seed.
 func New() *Tracer {
-	return &Tracer{epoch: time.Now(), live: make(map[uint64]*Span)}
+	return NewSeeded(mix64(uint64(time.Now().UnixNano())) ^ mix64(tracerSeeds.Add(1)))
 }
 
-// Begin starts a root span on a fresh track.
+// NewSeeded returns an enabled tracer whose TraceIDs and SpanIDs are a
+// pure function of seed and span order, so tests get reproducible IDs.
+func NewSeeded(seed uint64) *Tracer {
+	t := &Tracer{
+		epoch:  time.Now(),
+		seed:   seed,
+		live:   make(map[uint64]*Span),
+		traces: make(map[uint64]*traceState),
+	}
+	t.sampleP.Store(math.Float64bits(1))
+	return t
+}
+
+// Begin starts a root span on a fresh track, rooting a new trace with a
+// fresh TraceID and applying the tracer's sampling policy.
 func (t *Tracer) Begin(name string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
 	}
-	return t.newSpan(name, 0, t.tracks.Add(1), attrs)
+	return t.beginRoot(name, Context{}, attrs)
 }
 
-func (t *Tracer) newSpan(name string, parent, track uint64, attrs []Attr) *Span {
+// BeginRemote starts a root-level span that continues a trace begun in
+// another process: the span adopts ctx's TraceID and sampling decision and
+// parents under ctx's SpanID, so a migration's target-host spans nest
+// under the client's migration span in the merged trace. A zero ctx (the
+// untraced request) degrades to Begin.
+func (t *Tracer) BeginRemote(name string, ctx Context, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.beginRoot(name, ctx, attrs)
+}
+
+func (t *Tracer) beginRoot(name string, ctx Context, attrs []Attr) *Span {
+	id := t.ids.Add(1)
 	s := &Span{
-		tr:     t,
-		name:   name,
-		id:     t.ids.Add(1),
-		parent: parent,
-		track:  track,
-		start:  time.Now(),
-		attrs:  append([]Attr(nil), attrs...),
+		tr:         t,
+		name:       name,
+		id:         id,
+		root:       id,
+		track:      t.tracks.Add(1),
+		start:      time.Now(),
+		spanID:     t.newSpanID(id),
+		parentSpan: ctx.SpanID,
+		attrs:      append([]Attr(nil), attrs...),
+	}
+	if ctx.TraceID.IsZero() {
+		s.traceID = t.newTraceID(id)
+		s.sampled = t.sampleTrace(s.traceID)
+	} else {
+		s.traceID = ctx.TraceID
+		s.sampled = ctx.Sampled
 	}
 	t.mu.Lock()
 	t.live[s.id] = s
+	if !s.sampled {
+		t.trackUnsampledLocked(s.root)
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// newChild starts a sub-span of parent on the given track, inheriting the
+// parent's trace identity and sampling decision.
+func (t *Tracer) newChild(parent *Span, name string, track uint64, attrs []Attr) *Span {
+	id := t.ids.Add(1)
+	s := &Span{
+		tr:         t,
+		name:       name,
+		id:         id,
+		parent:     parent.id,
+		root:       parent.root,
+		track:      track,
+		start:      time.Now(),
+		traceID:    parent.traceID,
+		spanID:     t.newSpanID(id),
+		parentSpan: parent.spanID,
+		sampled:    parent.sampled,
+		attrs:      append([]Attr(nil), attrs...),
+	}
+	t.mu.Lock()
+	t.live[s.id] = s
+	if !s.sampled {
+		t.trackUnsampledLocked(s.root)
+	}
 	t.mu.Unlock()
 	return s
 }
 
 // record files a finished span. Called by Span.End without Span.mu held,
 // so the only lock nesting in the package is none at all.
-func (t *Tracer) record(rec SpanRecord) {
+func (t *Tracer) record(s *Span, rec SpanRecord) {
 	t.mu.Lock()
 	delete(t.live, rec.ID)
-	t.done = append(t.done, rec)
+	if s.sampled {
+		t.done = append(t.done, rec)
+	} else {
+		t.recordUnsampledLocked(s.root, rec)
+	}
 	t.mu.Unlock()
 }
 
@@ -131,7 +227,8 @@ func (t *Tracer) ByName(name string) []SpanRecord {
 }
 
 // ActiveCount returns how many spans have begun but not ended — useful for
-// leak checks in tests and for the /debug/trace status line.
+// leak checks in tests and for the /debug/trace status line. Unsampled
+// spans count too: a leak is a leak regardless of the sampling decision.
 func (t *Tracer) ActiveCount() int {
 	if t == nil {
 		return 0
@@ -141,14 +238,18 @@ func (t *Tracer) ActiveCount() int {
 	return len(t.live)
 }
 
-// snapshot copies the export state without holding any span lock.
+// snapshot copies the export state without holding any span lock. Live
+// spans of unsampled traces are withheld: their fate is undecided, and
+// exporting them would leak spans the sampler is about to drop.
 func (t *Tracer) snapshot() (done []SpanRecord, live []*Span) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	done = append([]SpanRecord(nil), t.done...)
 	live = make([]*Span, 0, len(t.live))
 	for _, s := range t.live {
-		live = append(live, s)
+		if s.sampled {
+			live = append(live, s)
+		}
 	}
 	return done, live
 }
@@ -158,17 +259,31 @@ func (t *Tracer) snapshot() (done []SpanRecord, live []*Span) {
 // goroutine). All methods are safe on a nil receiver and End is
 // idempotent, so error paths can End a span a second time harmlessly.
 type Span struct {
-	tr     *Tracer
-	name   string
-	id     uint64
-	parent uint64
-	track  uint64
-	start  time.Time
+	tr         *Tracer
+	name       string
+	id         uint64
+	parent     uint64
+	root       uint64 // local id of this trace's root span
+	track      uint64
+	start      time.Time
+	traceID    TraceID
+	spanID     SpanID
+	parentSpan SpanID
+	sampled    bool
 
 	mu    sync.Mutex
 	attrs []Attr        // guarded by mu
 	ended bool          // guarded by mu
 	dur   time.Duration // guarded by mu
+}
+
+// Context returns the span's portable trace context, for Inject into a
+// cross-process request. A nil span returns the zero (untraced) Context.
+func (s *Span) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return Context{TraceID: s.traceID, SpanID: s.spanID, Sampled: s.sampled}
 }
 
 // Child starts a sub-span on the parent's track: sequential phases of the
@@ -177,7 +292,7 @@ func (s *Span) Child(name string, attrs ...Attr) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.newSpan(name, s.id, s.track, attrs)
+	return s.tr.newChild(s, name, s.track, attrs)
 }
 
 // Fork starts a sub-span on a fresh track: concurrent work (a goroutine)
@@ -187,7 +302,7 @@ func (s *Span) Fork(name string, attrs ...Attr) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.newSpan(name, s.id, s.tr.tracks.Add(1), attrs)
+	return s.tr.newChild(s, name, s.tr.tracks.Add(1), attrs)
 }
 
 // Annotate appends attributes to a running span.
@@ -214,17 +329,20 @@ func (s *Span) End() {
 	s.dur = time.Since(s.start)
 	rec := s.recordLocked()
 	s.mu.Unlock()
-	s.tr.record(rec)
+	s.tr.record(s, rec)
 }
 
 // Fail annotates the span with err (when non-nil) and ends it. Fault
-// paths use it so aborted phases stay visible in the trace.
+// paths use it so aborted phases stay visible in the trace; a non-nil err
+// additionally marks the whole trace as failed, which exempts it from
+// sampling (failed traces are always kept).
 func (s *Span) Fail(err error) {
 	if s == nil {
 		return
 	}
 	if err != nil {
 		s.Annotate(Attr{Key: "error", Val: err.Error()})
+		s.tr.markTraceFailed(s)
 	}
 	s.End()
 }
@@ -242,12 +360,15 @@ func (s *Span) Duration() time.Duration {
 // recordLocked builds the span's export record; s.mu must be held.
 func (s *Span) recordLocked() SpanRecord {
 	return SpanRecord{
-		Name:   s.name,
-		ID:     s.id,
-		Parent: s.parent,
-		Track:  s.track,
-		Start:  s.start.Sub(s.tr.epoch),
-		Dur:    s.dur,
-		Attrs:  append([]Attr(nil), s.attrs...),
+		Name:       s.name,
+		ID:         s.id,
+		Parent:     s.parent,
+		Track:      s.track,
+		TraceID:    s.traceID,
+		SpanID:     s.spanID,
+		ParentSpan: s.parentSpan,
+		Start:      s.start.Sub(s.tr.epoch),
+		Dur:        s.dur,
+		Attrs:      append([]Attr(nil), s.attrs...),
 	}
 }
