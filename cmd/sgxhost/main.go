@@ -130,7 +130,9 @@ func run(listen, name, secret string, epc int, telAddr string, sample float64) e
 
 	// Tracing and metrics are always on — the daemon must be able to join
 	// a migration trace rooted elsewhere even when it serves no telemetry
-	// endpoint itself; -trace-sample bounds the cost. -telemetry-addr only
+	// endpoint itself; -trace-sample bounds the tracing work and the span
+	// buffer is a bounded ring (telemetry.DefaultSpanCap), so memory stays
+	// flat no matter how long the daemon runs. -telemetry-addr only
 	// controls whether the buffers are published over HTTP.
 	s.enableTelemetry(sample)
 
@@ -341,7 +343,7 @@ func (s *server) migrateOut(cmd hostproto.Command, sp *telemetry.Span) hostproto
 	// decoder on the same conn would lose buffered bytes, and the trailing
 	// TraceShipment must arrive on the stream the handshake owns.
 	rep, err := core.MigrateOut(rt, core.NewGobTransport(conn, enc, dec), opts)
-	s.recvTraceShipment(conn, dec, sp)
+	s.recvTraceShipment(conn, dec, sp, err)
 	if err != nil {
 		s.met.Counter("host.migrations.failed").Inc()
 		return hostproto.Response{Err: err.Error()}
@@ -355,13 +357,20 @@ func (s *server) migrateOut(cmd hostproto.Command, sp *telemetry.Span) hostproto
 // recvTraceShipment reads the target's span buffer off the migration
 // connection and folds it into the local tracer. The target always sends
 // one (empty when untraced), but if it died mid-protocol nothing may
-// come — a short read deadline keeps a broken migration from hanging the
-// source, at worst losing the target's half of the trace.
-func (s *server) recvTraceShipment(conn net.Conn, dec *gob.Decoder, sp *telemetry.Span) {
+// come — a read deadline keeps a broken migration from hanging the
+// source, at worst losing the target's half of the trace. When the
+// migration itself failed (migErr non-nil) the stream state is unknown
+// and the client is waiting on the error response, so only a short grace
+// is given for the target's abort-path trailer to arrive.
+func (s *server) recvTraceShipment(conn net.Conn, dec *gob.Decoder, sp *telemetry.Span, migErr error) {
 	if sp == nil {
 		return // telemetry dark: nothing to merge into
 	}
-	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	deadline := 3 * time.Second
+	if migErr != nil {
+		deadline = 250 * time.Millisecond
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(deadline))
 	defer conn.SetReadDeadline(time.Time{})
 	var ship hostproto.TraceShipment
 	if err := dec.Decode(&ship); err != nil {

@@ -99,14 +99,17 @@ func TestCrossHostTraceMerge(t *testing.T) {
 	if want != root.Context().TraceID {
 		t.Fatalf("merged TraceID %v is not the client root's %v", want, root.Context().TraceID)
 	}
-	// Client, source-phase, wire, and target-phase spans must all be there.
+	// Client, source-phase, wire, and target-phase spans must all be there —
+	// exactly once each: hosts re-export their whole per-trace buffer on
+	// every response, so a count > 1 means Adopt's dedup regressed.
 	for _, name := range []string{
-		"client.migrate", "client.migrate-out",
-		"host.migrateout", "core.prepare", "core.dump", "core.channel", "core.wire", "core.keyrelease",
+		"client.launch", "client.migrate", "client.migrate-out",
+		"host.launch", "host.migrateout",
+		"core.prepare", "core.dump", "core.channel", "core.wire", "core.keyrelease",
 		"host.migratein", "core.target.prepare", "core.target.finish", "core.restore",
 	} {
-		if names[name] == 0 {
-			t.Errorf("merged trace missing span %q; have %v", name, names)
+		if names[name] != 1 {
+			t.Errorf("merged trace has %d %q spans, want exactly 1; have %v", names[name], name, names)
 		}
 	}
 	// No span left open on any party.

@@ -75,15 +75,31 @@ func (t *Tracer) ExportTrace(id TraceID) WireTrace {
 // numbers would collide with local ones). The remote spans' local ID/
 // Parent handles are zeroed — they index the remote tracer's allocation
 // order, which means nothing here; cross-process structure lives in the
-// SpanID/ParentSpan links, which are preserved. Safe on a nil tracer.
+// SpanID/ParentSpan links, which are preserved.
+//
+// Adoption deduplicates by SpanID: a record whose SpanID is already in
+// the buffer is skipped. Peers re-export a trace's whole buffer on every
+// request (ExportTrace keeps no shipped watermark), so without this a
+// client merging several responses — or a source host that both adopted
+// the target's TraceShipment and later re-requests the target — would
+// duplicate every span. Safe on a nil tracer.
 func (t *Tracer) Adopt(wt WireTrace) {
 	if t == nil || wt.Empty() {
 		return
 	}
 	delta := time.Duration(wt.EpochUnixNano - t.epoch.UnixNano())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[SpanID]bool, len(t.done))
+	for _, r := range t.done {
+		seen[r.SpanID] = true
+	}
 	trackMap := make(map[uint64]uint64)
-	recs := make([]SpanRecord, 0, len(wt.Spans))
 	for _, r := range wt.Spans {
+		if !r.SpanID.IsZero() && seen[r.SpanID] {
+			continue
+		}
+		seen[r.SpanID] = true
 		nt, ok := trackMap[r.Track]
 		if !ok {
 			nt = t.tracks.Add(1)
@@ -96,11 +112,8 @@ func (t *Tracer) Adopt(wt WireTrace) {
 		if r.Proc == "" {
 			r.Proc = wt.Proc
 		}
-		recs = append(recs, r)
+		t.appendDoneLocked(r)
 	}
-	t.mu.Lock()
-	t.done = append(t.done, recs...)
-	t.mu.Unlock()
 }
 
 // WriteChromeTrace writes every span — completed and still-running — in

@@ -75,11 +75,20 @@ func Extract(header string) (Context, error) {
 	if parts[0] != traceparentVersion {
 		return Context{}, fmt.Errorf("telemetry: traceparent version %q not supported", parts[0])
 	}
+	// Check field lengths before decoding: hex.Decode writes len(src)/2
+	// bytes into dst, so an oversized field would write past the fixed-size
+	// arrays and panic — and this parses bytes straight off the network.
 	var c Context
-	if n, err := hex.Decode(c.TraceID[:], []byte(parts[1])); err != nil || n != len(c.TraceID) {
+	if len(parts[1]) != 2*len(c.TraceID) {
 		return Context{}, fmt.Errorf("telemetry: traceparent trace-id %q is not 32 hex digits", parts[1])
 	}
-	if n, err := hex.Decode(c.SpanID[:], []byte(parts[2])); err != nil || n != len(c.SpanID) {
+	if len(parts[2]) != 2*len(c.SpanID) {
+		return Context{}, fmt.Errorf("telemetry: traceparent span-id %q is not 16 hex digits", parts[2])
+	}
+	if _, err := hex.Decode(c.TraceID[:], []byte(parts[1])); err != nil {
+		return Context{}, fmt.Errorf("telemetry: traceparent trace-id %q is not 32 hex digits", parts[1])
+	}
+	if _, err := hex.Decode(c.SpanID[:], []byte(parts[2])); err != nil {
 		return Context{}, fmt.Errorf("telemetry: traceparent span-id %q is not 16 hex digits", parts[2])
 	}
 	if len(parts[3]) != 2 {
@@ -107,10 +116,17 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// newSpanID derives the n-th span ID of this tracer's stream.
+// newSpanID derives the n-th span ID of this tracer's stream. The counter
+// is mixed before the seed is folded in: seed^mix64(2n) keeps the stream
+// injective in n (within-tracer IDs never collide), while two tracers
+// only collide if their seeds XOR to mix64(2n)^mix64(2m) — negligible
+// even for adjacent small seeds. The naive mix64(seed+2n) is NOT safe:
+// seeds of equal parity yield the same argument stream shifted by a few
+// steps, so seeded test tracers handed seeds 1,2,3 systematically reuse
+// each other's IDs, which Adopt's dedup would then drop as duplicates.
 func (t *Tracer) newSpanID(n uint64) SpanID {
 	var id SpanID
-	binary.BigEndian.PutUint64(id[:], mix64(t.seed+2*n))
+	binary.BigEndian.PutUint64(id[:], mix64(t.seed^mix64(2*n)))
 	if id.IsZero() {
 		id[7] = 1
 	}
@@ -118,10 +134,11 @@ func (t *Tracer) newSpanID(n uint64) SpanID {
 }
 
 // newTraceID derives a fresh trace ID for a root span (the n-th span of
-// this tracer).
+// this tracer). Odd counter arguments keep the stream disjoint from
+// newSpanID's even ones.
 func (t *Tracer) newTraceID(n uint64) TraceID {
 	var id TraceID
-	hi := mix64(t.seed + 2*n + 1)
+	hi := mix64(t.seed ^ mix64(2*n+1))
 	binary.BigEndian.PutUint64(id[:8], hi)
 	binary.BigEndian.PutUint64(id[8:], mix64(hi))
 	if id.IsZero() {

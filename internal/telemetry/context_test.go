@@ -54,10 +54,13 @@ func TestContextZeroAndUntraced(t *testing.T) {
 func TestExtractRejectsMalformed(t *testing.T) {
 	bad := []string{
 		"00-abc",
-		"01-0123456789abcdef0123456789abcdef-0123456789abcdef-01", // unknown version
-		"00-0123456789abcdef0123456789abcde-0123456789abcdef-01",  // short trace id
-		"00-0123456789abcdef0123456789abcdef-0123456789abcde-01",  // short span id
-		"00-0123456789abcdef0123456789abcdef-0123456789abcdef-0",  // short flags
+		"01-0123456789abcdef0123456789abcdef-0123456789abcdef-01",     // unknown version
+		"00-0123456789abcdef0123456789abcde-0123456789abcdef-01",      // short trace id
+		"00-0123456789abcdef0123456789abcdef-0123456789abcde-01",      // short span id
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef-0",      // short flags
+		"00-0123456789abcdef0123456789abcdef0123-0123456789abcdef-01", // long trace id (would overflow the array)
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef0123-01", // long span id (would overflow the array)
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef-0123",   // long flags
 		"00-0123456789abcdef0123456789abcdef-0123456789abcdef-zz",
 		"00-00000000000000000000000000000000-0123456789abcdef-01", // zero trace id
 		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // zero span id
@@ -107,6 +110,27 @@ func TestSeededIDsDeterministic(t *testing.T) {
 		t.Fatalf("different seeds produced the same TraceID")
 	}
 	o.End()
+}
+
+// TestSeededStreamsDisjoint guards the ID-derivation scheme: tracers with
+// small adjacent seeds (what tests use) must not reuse each other's span
+// IDs, because Adopt dedups by SpanID and a collision silently drops a
+// real span from the merge. mix64(seed+2n) failed this: equal-parity
+// seeds produce the same stream shifted by a few steps.
+func TestSeededStreamsDisjoint(t *testing.T) {
+	seen := map[SpanID]uint64{}
+	for seed := uint64(1); seed <= 8; seed++ {
+		tr := NewSeeded(seed)
+		for i := 0; i < 64; i++ {
+			sp := tr.Begin("s")
+			id := sp.Context().SpanID
+			if prev, ok := seen[id]; ok {
+				t.Fatalf("seed %d reuses span ID %v first produced by seed %d", seed, id, prev)
+			}
+			seen[id] = seed
+			sp.End()
+		}
+	}
 }
 
 func TestChildSpansShareTraceID(t *testing.T) {

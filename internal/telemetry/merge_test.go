@@ -147,6 +147,100 @@ func TestExportTraceFilters(t *testing.T) {
 	nilT.Adopt(wt) // must not panic
 }
 
+// TestAdoptDeduplicates covers the re-export pattern of the live system:
+// a host re-exports its entire per-trace buffer on every request, so the
+// client adopts overlapping shipments and must keep each span once.
+func TestAdoptDeduplicates(t *testing.T) {
+	client := NewSeeded(100)
+	target := NewSeeded(200)
+
+	root := client.Begin("client.migrate")
+	ctx, err := Extract(root.Context().Inject())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := target.BeginRemote("host.migratein", ctx)
+	in.Child("core.restore").End()
+	in.End()
+
+	first := target.ExportTrace(ctx.TraceID)
+	first.Proc = "sgxhost target"
+	client.Adopt(first)
+	before := len(client.Completed())
+
+	// The same buffer arrives again (a later request to the same host
+	// re-exports everything), plus one genuinely new span.
+	target.BeginRemote("host.list", ctx).End()
+	second := target.ExportTrace(ctx.TraceID)
+	second.Proc = "sgxhost target"
+	client.Adopt(second)
+
+	recs := client.Completed()
+	if got, want := len(recs), before+1; got != want {
+		t.Fatalf("after overlapping Adopt: %d spans, want %d: %+v", got, want, recs)
+	}
+	counts := map[SpanID]int{}
+	for _, r := range recs {
+		counts[r.SpanID]++
+	}
+	for id, n := range counts {
+		if n != 1 {
+			t.Errorf("span %v adopted %d times, want 1", id, n)
+		}
+	}
+	root.End()
+}
+
+// TestSpanCapBoundsBuffer checks that the finished-span buffer cannot grow
+// without bound: beyond the cap the oldest records are evicted, newest
+// kept, and adopted spans obey the same bound.
+func TestSpanCapBoundsBuffer(t *testing.T) {
+	tr := NewSeeded(7)
+	tr.SetSpanCap(8)
+	for i := 0; i < 50; i++ {
+		tr.Begin("local").End()
+	}
+	recs := tr.Completed()
+	if len(recs) != 8 {
+		t.Fatalf("capped buffer holds %d spans, want 8", len(recs))
+	}
+	// End order is preserved and the survivors are the newest: strictly
+	// increasing Start offsets ending at the most recent span.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Start < recs[i-1].Start {
+			t.Fatalf("eviction broke End order: %v after %v", recs[i].Start, recs[i-1].Start)
+		}
+	}
+
+	// Adopted shipments are bounded too.
+	remote := NewSeeded(9)
+	for i := 0; i < 50; i++ {
+		remote.Begin("remote").End()
+	}
+	wt := WireTrace{EpochUnixNano: 0, Spans: remote.Completed(), Proc: "peer"}
+	tr.Adopt(wt)
+	if got := len(tr.Completed()); got != 8 {
+		t.Fatalf("capped buffer holds %d spans after Adopt, want 8", got)
+	}
+
+	// A fresh tracer starts with the default cap, not unbounded.
+	def := NewSeeded(1)
+	def.mu.Lock()
+	defCap := def.maxDone
+	def.mu.Unlock()
+	if defCap != DefaultSpanCap {
+		t.Fatalf("new tracer cap = %d, want DefaultSpanCap %d", defCap, DefaultSpanCap)
+	}
+	// SetSpanCap(0) lifts the bound.
+	tr.SetSpanCap(0)
+	for i := 0; i < 50; i++ {
+		tr.Begin("more").End()
+	}
+	if got := len(tr.Completed()); got != 58 {
+		t.Fatalf("uncapped buffer holds %d spans, want 58", got)
+	}
+}
+
 func TestHTTPHandlerPprof(t *testing.T) {
 	h := Handler(New(), NewMetrics())
 	req := httptest.NewRequest("GET", "/debug/pprof/", nil)

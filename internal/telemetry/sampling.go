@@ -93,7 +93,7 @@ func (t *Tracer) recordUnsampledLocked(root uint64, rec SpanRecord) {
 		return
 	}
 	if st.failed {
-		t.done = append(t.done, st.pending...)
+		t.appendDoneLocked(st.pending...)
 	}
 	delete(t.traces, root)
 }

@@ -82,11 +82,19 @@ type Tracer struct {
 	tracks  atomic.Uint64
 	sampleP atomic.Uint64 // math.Float64bits of the sampling probability
 
-	mu     sync.Mutex
-	done   []SpanRecord           // guarded by mu
-	live   map[uint64]*Span       // guarded by mu
-	traces map[uint64]*traceState // guarded by mu; unsampled in-flight traces
+	mu      sync.Mutex
+	done    []SpanRecord           // guarded by mu; bounded by maxDone
+	maxDone int                    // guarded by mu; cap on done, 0 = unlimited
+	live    map[uint64]*Span       // guarded by mu
+	traces  map[uint64]*traceState // guarded by mu; unsampled in-flight traces
 }
+
+// DefaultSpanCap bounds a new tracer's finished-span buffer: once it is
+// full, the oldest records are evicted as new ones arrive. At ~200 bytes a
+// record that caps the buffer's resident cost at a few MB, so an always-on
+// daemon tracer cannot grow without bound no matter how long it runs or
+// how many failed traces peers send it. SetSpanCap adjusts or lifts it.
+const DefaultSpanCap = 32768
 
 // tracerSeeds differentiates tracers created in the same nanosecond.
 var tracerSeeds atomic.Uint64
@@ -101,13 +109,43 @@ func New() *Tracer {
 // pure function of seed and span order, so tests get reproducible IDs.
 func NewSeeded(seed uint64) *Tracer {
 	t := &Tracer{
-		epoch:  time.Now(),
-		seed:   seed,
-		live:   make(map[uint64]*Span),
-		traces: make(map[uint64]*traceState),
+		epoch:   time.Now(),
+		seed:    seed,
+		maxDone: DefaultSpanCap,
+		live:    make(map[uint64]*Span),
+		traces:  make(map[uint64]*traceState),
 	}
 	t.sampleP.Store(math.Float64bits(1))
 	return t
+}
+
+// SetSpanCap bounds the finished-span buffer at n records, evicting the
+// oldest when full; n <= 0 removes the bound (useful in tests that want
+// every span). Safe on a nil tracer.
+func (t *Tracer) SetSpanCap(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.maxDone = n
+	t.trimDoneLocked()
+	t.mu.Unlock()
+}
+
+// appendDoneLocked files finished records and enforces the span cap.
+// t.mu must be held.
+func (t *Tracer) appendDoneLocked(recs ...SpanRecord) {
+	t.done = append(t.done, recs...)
+	t.trimDoneLocked()
+}
+
+// trimDoneLocked evicts the oldest records beyond the cap, reusing the
+// backing array so a long-lived tracer does not keep reallocating.
+// t.mu must be held.
+func (t *Tracer) trimDoneLocked() {
+	if t.maxDone > 0 && len(t.done) > t.maxDone {
+		t.done = append(t.done[:0], t.done[len(t.done)-t.maxDone:]...)
+	}
 }
 
 // Begin starts a root span on a fresh track, rooting a new trace with a
@@ -193,7 +231,7 @@ func (t *Tracer) record(s *Span, rec SpanRecord) {
 	t.mu.Lock()
 	delete(t.live, rec.ID)
 	if s.sampled {
-		t.done = append(t.done, rec)
+		t.appendDoneLocked(rec)
 	} else {
 		t.recordUnsampledLocked(s.root, rec)
 	}
