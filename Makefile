@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint lint-fixtures test race bench
+.PHONY: check build fmt vet lint lint-budget lint-fixtures test race bench
 
 check: build fmt vet lint test race
 
@@ -22,9 +22,18 @@ vet:
 lint:
 	$(GO) run ./cmd/sgxlint ./...
 
-# Just the sgxlint fixture tests — the fast loop when developing a rule.
+# The lint-runtime budget CI enforces: a prebuilt sgxlint must finish the
+# whole module inside 60s, so the dataflow analyses stay cheap enough for
+# the pre-PR loop.
+lint-budget:
+	$(GO) build -o sgxlint-bin ./cmd/sgxlint
+	timeout 60 ./sgxlint-bin ./...
+	@rm -f sgxlint-bin
+
+# Just the sgxlint fixture + CFG golden tests — the fast loop when
+# developing a rule or the dataflow engine.
 lint-fixtures:
-	$(GO) test ./internal/lint/ -run Fixture -v
+	$(GO) test ./internal/lint/ -run 'Fixture|CFG' -v
 
 test:
 	$(GO) test ./...

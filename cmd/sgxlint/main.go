@@ -7,6 +7,7 @@
 //
 //	go run ./cmd/sgxlint ./...
 //	go run ./cmd/sgxlint -json ./...
+//	go run ./cmd/sgxlint -rule lockdiscipline,immutable ./...
 //	go run ./cmd/sgxlint -rules
 package main
 
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -23,6 +25,7 @@ import (
 func main() {
 	root := flag.String("root", "", "module root to lint (default: nearest go.mod above the working directory)")
 	rules := flag.Bool("rules", false, "list the rules and exit")
+	ruleFilter := flag.String("rule", "", "comma-separated rule names to run (default: all; see -rules)")
 	jsonOut := flag.Bool("json", false, "print findings as a JSON array (same exit code); CI archives this")
 	flag.Parse()
 
@@ -31,6 +34,25 @@ func main() {
 			fmt.Printf("%-16s %s\n", c.Name(), c.Doc())
 		}
 		return
+	}
+
+	var only []string
+	if *ruleFilter != "" {
+		known := make(map[string]bool)
+		for _, c := range lint.Checkers(lint.DefaultConfig("repro")) {
+			known[c.Name()] = true
+		}
+		for _, name := range strings.Split(*ruleFilter, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "sgxlint: unknown rule %q (see -rules)\n", name)
+				os.Exit(2)
+			}
+			only = append(only, name)
+		}
 	}
 
 	dir := *root
@@ -42,7 +64,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	diags, err := lint.Run(dir, nil)
+	diags, err := lint.RunRules(dir, nil, only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sgxlint:", err)
 		os.Exit(2)

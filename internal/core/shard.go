@@ -25,6 +25,9 @@ type stripe[V any] struct {
 // Range, which visit stripes one at a time and therefore see a sequence
 // of per-stripe snapshots, not one global snapshot.
 type striped[V any] struct {
+	// stripes is immutable after construction: the array itself is never
+	// reassigned — all mutation happens inside a stripe under its mu — so
+	// stripeFor may index it without any table-wide lock.
 	stripes [stripeCount]stripe[V]
 }
 

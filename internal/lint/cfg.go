@@ -1,0 +1,650 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the control-flow half of the lint package's dataflow engine
+// (the solver lives in dataflow.go). BuildCFG turns one function body into
+// basic blocks connected by labeled edges, with the branch structures that
+// matter to the analyzers modeled precisely:
+//
+//   - if/else chains terminate a block on the condition, with EdgeTrue and
+//     EdgeFalse successors;
+//   - for and range loops get a header block with a back edge, so loop-
+//     carried facts reach a fixpoint in the solver rather than being walked
+//     once linearly;
+//   - switch, type-switch and select fan out one block per clause
+//     (fallthrough chains clause bodies; a missing default adds the skip
+//     edge);
+//   - break/continue/goto/fallthrough, including labeled forms, resolve to
+//     their structural targets;
+//   - return, panic and the terminating runtime exits edge to the synthetic
+//     Exit block and end the current block as unreachable-after;
+//   - defer statements are recorded both in their block (argument
+//     evaluation happens at the defer site) and in CFG.Defers in source
+//     order, because their calls run at every function exit.
+//
+// Statements that cannot branch are appended to the current block in
+// evaluation order. Function literals are NOT descended into — each
+// analyzer decides what entry fact a literal's own CFG starts from.
+
+// EdgeKind labels a CFG edge.
+type EdgeKind int
+
+const (
+	// EdgeNext is an unconditional edge.
+	EdgeNext EdgeKind = iota
+	// EdgeTrue is taken when the block's Cond evaluates true (for a range
+	// header: the "another element" edge into the body).
+	EdgeTrue
+	// EdgeFalse is taken when the block's Cond evaluates false (for a
+	// range header: the exhausted edge past the loop).
+	EdgeFalse
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeTrue:
+		return "T"
+	case EdgeFalse:
+		return "F"
+	}
+	return ""
+}
+
+// Edge is one directed CFG edge.
+type Edge struct {
+	To   *Block
+	Kind EdgeKind
+}
+
+// Block is one basic block: a maximal straight-line run of statements.
+type Block struct {
+	ID int
+	// Nodes are the block's statements (and the init/cond/tag expressions
+	// of the construct that terminates it) in evaluation order.
+	Nodes []ast.Node
+	// Cond is the controlling expression when the block ends in a
+	// conditional branch (if condition, for condition, switch-case match);
+	// nil for unconditional blocks and for range/select headers, which
+	// branch on internal state rather than a source expression.
+	Cond  ast.Expr
+	Succs []Edge
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry is Blocks[0];
+// Exit is the synthetic sink every return/panic/fallthrough-off-the-end
+// edges to, and holds no statements.
+type CFG struct {
+	Name   string
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers are the deferred calls in source order. They execute, in
+	// reverse order, on every path that reaches Exit.
+	Defers []*ast.CallExpr
+}
+
+// BuildCFG constructs the CFG of fd's body. info (optional) resolves
+// panic/builtin identities; pass the package's types.Info when available so
+// a shadowed `panic` local is not treated as terminating.
+func BuildCFG(fd *ast.FuncDecl, info *types.Info) *CFG {
+	return buildCFG(fd.Name.Name, fd.Body, info)
+}
+
+// BuildLitCFG constructs the CFG of a function literal's body.
+func BuildLitCFG(name string, lit *ast.FuncLit, info *types.Info) *CFG {
+	return buildCFG(name, lit.Body, info)
+}
+
+func buildCFG(name string, body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{Name: name},
+		info:   info,
+		labels: make(map[string]*labelInfo),
+	}
+	b.cfg.Exit = &Block{ID: -1}
+	b.cur = b.newBlock()
+	b.cfg.Entry = b.cur
+	b.stmtList(body.List)
+	b.edgeTo(b.cfg.Exit, EdgeNext) // fall off the end
+	b.resolveGotos()
+	b.cfg.Exit.ID = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	for _, blk := range b.cfg.Blocks {
+		for _, e := range blk.Succs {
+			e.To.Preds = append(e.To.Preds, blk)
+		}
+	}
+	return b.cfg
+}
+
+// labelInfo tracks one label's targets: Goto is the labeled statement's
+// entry block; Break/Continue are set while the labeled loop or switch is
+// being built.
+type labelInfo struct {
+	Goto            *Block
+	Break, Continue *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg  *CFG
+	info *types.Info
+	// cur is the block under construction; nil after a terminator
+	// (return/panic/break/...), meaning subsequent statements are
+	// unreachable and start a fresh predecessor-less block.
+	cur *Block
+
+	// breakTo / continueTo are the innermost targets for unlabeled
+	// break/continue.
+	breakTo    *Block
+	continueTo *Block
+
+	// loopStack saves (breakTo, continueTo) across nested loops and
+	// switches.
+	loopStack [][2]*Block
+
+	labels map[string]*labelInfo
+	gotos  []pendingGoto
+
+	// pendingLabel names the label directly preceding the statement being
+	// built, so `L: for {...}` routes break L / continue L correctly.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{ID: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// current returns the block under construction, resurrecting an
+// unreachable one after a terminator so dead statements still get blocks
+// (the solver simply never reaches them).
+func (b *cfgBuilder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.current()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// edgeTo links the current block (if any) to dst and keeps cur open.
+func (b *cfgBuilder) edgeTo(dst *Block, kind EdgeKind) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Succs = append(b.cur.Succs, Edge{To: dst, Kind: kind})
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+	case *ast.IfStmt:
+		b.ifStmt(x)
+	case *ast.ForStmt:
+		b.forStmt(x, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(x, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(x.Init, x.Tag, nil, x.Body, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(x.Init, nil, x.Assign, x.Body, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(x, b.takeLabel())
+	case *ast.ReturnStmt:
+		b.add(x)
+		b.edgeTo(b.cfg.Exit, EdgeNext)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(x)
+	case *ast.LabeledStmt:
+		b.labeledStmt(x)
+	case *ast.DeferStmt:
+		b.add(x)
+		b.cfg.Defers = append(b.cfg.Defers, x.Call)
+	case *ast.ExprStmt:
+		b.add(x)
+		if b.isTerminatingCall(x.X) {
+			b.edgeTo(b.cfg.Exit, EdgeNext)
+			b.cur = nil
+		}
+	default:
+		// Assignments, declarations, go/send/incdec and the rest are
+		// straight-line.
+		b.add(s)
+	}
+}
+
+// takeLabel consumes the label attached to the statement being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) labeledStmt(x *ast.LabeledStmt) {
+	// The label's entry block is a fresh block so gotos from anywhere can
+	// land on it.
+	entry := b.newBlock()
+	b.edgeTo(entry, EdgeNext)
+	b.cur = entry
+	li := b.labels[x.Label.Name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[x.Label.Name] = li
+	}
+	li.Goto = entry
+	b.pendingLabel = x.Label.Name
+	b.stmt(x.Stmt)
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) branchStmt(x *ast.BranchStmt) {
+	b.add(x)
+	switch x.Tok {
+	case token.BREAK:
+		dst := b.breakTo
+		if x.Label != nil {
+			if li := b.labels[x.Label.Name]; li != nil {
+				dst = li.Break
+			}
+		}
+		if dst != nil {
+			b.edgeTo(dst, EdgeNext)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		dst := b.continueTo
+		if x.Label != nil {
+			if li := b.labels[x.Label.Name]; li != nil {
+				dst = li.Continue
+			}
+		}
+		if dst != nil {
+			b.edgeTo(dst, EdgeNext)
+		}
+		b.cur = nil
+	case token.GOTO:
+		if b.cur != nil && x.Label != nil {
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: x.Label.Name})
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled structurally by switchStmt (the clause builder checks its
+		// last statement); nothing to do here.
+	}
+}
+
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if li := b.labels[g.label]; li != nil && li.Goto != nil {
+			g.from.Succs = append(g.from.Succs, Edge{To: li.Goto, Kind: EdgeNext})
+		}
+	}
+}
+
+func (b *cfgBuilder) ifStmt(x *ast.IfStmt) {
+	b.stmt(x.Init)
+	b.add(x.Cond)
+	cond := b.current()
+	cond.Cond = x.Cond
+
+	after := &Block{} // placeholder; registered only if reachable
+	registered := false
+	reg := func() *Block {
+		if !registered {
+			after.ID = len(b.cfg.Blocks)
+			b.cfg.Blocks = append(b.cfg.Blocks, after)
+			registered = true
+		}
+		return after
+	}
+
+	then := b.newBlock()
+	cond.Succs = append(cond.Succs, Edge{To: then, Kind: EdgeTrue})
+	b.cur = then
+	b.stmt(x.Body)
+	if b.cur != nil {
+		b.edgeTo(reg(), EdgeNext)
+	}
+
+	if x.Else != nil {
+		els := b.newBlock()
+		cond.Succs = append(cond.Succs, Edge{To: els, Kind: EdgeFalse})
+		b.cur = els
+		b.stmt(x.Else)
+		if b.cur != nil {
+			b.edgeTo(reg(), EdgeNext)
+		}
+	} else {
+		cond.Succs = append(cond.Succs, Edge{To: reg(), Kind: EdgeFalse})
+	}
+	if registered {
+		b.cur = after
+	} else {
+		b.cur = nil // both arms terminated
+	}
+}
+
+func (b *cfgBuilder) forStmt(x *ast.ForStmt, label string) {
+	b.stmt(x.Init)
+	header := b.newBlock()
+	b.edgeTo(header, EdgeNext)
+
+	after := b.newBlock()
+	var post *Block
+	if x.Post != nil {
+		post = b.newBlock()
+	}
+	backTo := header
+	continueTo := header
+	if post != nil {
+		continueTo = post
+	}
+
+	b.cur = header
+	body := b.newBlock()
+	if x.Cond != nil {
+		b.add(x.Cond)
+		header.Cond = x.Cond
+		header.Succs = append(header.Succs,
+			Edge{To: body, Kind: EdgeTrue},
+			Edge{To: after, Kind: EdgeFalse})
+	} else {
+		header.Succs = append(header.Succs, Edge{To: body, Kind: EdgeNext})
+	}
+
+	b.pushLoop(label, after, continueTo)
+	b.cur = body
+	b.stmt(x.Body)
+	if post != nil {
+		b.edgeTo(post, EdgeNext)
+		b.cur = post
+		b.stmt(x.Post)
+	}
+	b.edgeTo(backTo, EdgeNext)
+	b.popLoop(label)
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(x *ast.RangeStmt, label string) {
+	// The header evaluates the range operand once, then branches per
+	// iteration: EdgeTrue into the body (key/value assigned), EdgeFalse
+	// past the loop.
+	header := b.newBlock()
+	b.edgeTo(header, EdgeNext)
+	b.cur = header
+	b.add(x) // the RangeStmt node carries X and the key/value assignment
+
+	body := b.newBlock()
+	after := b.newBlock()
+	header.Succs = append(header.Succs,
+		Edge{To: body, Kind: EdgeTrue},
+		Edge{To: after, Kind: EdgeFalse})
+
+	b.pushLoop(label, after, header)
+	b.cur = body
+	b.stmt(x.Body)
+	b.edgeTo(header, EdgeNext)
+	b.popLoop(label)
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.loopStack = append(b.loopStack, [2]*Block{b.breakTo, b.continueTo})
+	b.breakTo, b.continueTo = brk, cont
+	if label != "" {
+		li := b.labels[label]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[label] = li
+		}
+		li.Break, li.Continue = brk, cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	n := len(b.loopStack)
+	b.breakTo, b.continueTo = b.loopStack[n-1][0], b.loopStack[n-1][1]
+	b.loopStack = b.loopStack[:n-1]
+	_ = label
+}
+
+// switchStmt builds expression switches (tag != nil) and type switches
+// (assign != nil). Each clause is its own block; the header edges to every
+// clause and — when there is no default — to the after block.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label string) {
+	b.stmt(init)
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	header := b.current()
+	after := b.newBlock()
+
+	b.pushSwitch(label, after)
+
+	type builtClause struct {
+		clause *ast.CaseClause
+		entry  *Block
+	}
+	var clauses []builtClause
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		entry := b.newBlock()
+		header.Succs = append(header.Succs, Edge{To: entry, Kind: EdgeNext})
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clauses = append(clauses, builtClause{cc, entry})
+	}
+	if !hasDefault {
+		header.Succs = append(header.Succs, Edge{To: after, Kind: EdgeNext})
+	}
+
+	for i, bc := range clauses {
+		b.cur = bc.entry
+		for _, e := range bc.clause.List {
+			b.add(e)
+		}
+		b.stmtList(bc.clause.Body)
+		if endsInFallthrough(bc.clause.Body) && i+1 < len(clauses) {
+			b.edgeTo(clauses[i+1].entry, EdgeNext)
+			b.cur = nil
+		} else {
+			b.edgeTo(after, EdgeNext)
+		}
+	}
+	b.popSwitch(label)
+	b.cur = after
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) selectStmt(x *ast.SelectStmt, label string) {
+	header := b.current()
+	after := b.newBlock()
+	b.pushSwitch(label, after)
+	for _, c := range x.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		entry := b.newBlock()
+		header.Succs = append(header.Succs, Edge{To: entry, Kind: EdgeNext})
+		b.cur = entry
+		b.stmt(cc.Comm)
+		b.stmtList(cc.Body)
+		b.edgeTo(after, EdgeNext)
+	}
+	b.popSwitch(label)
+	if len(x.Body.List) == 0 {
+		// select{} blocks forever: nothing reaches after.
+		b.cur = nil
+	} else {
+		b.cur = after
+	}
+}
+
+// switch/select share the loop stack machinery for break targets; continue
+// is untouched (it binds to the enclosing loop).
+func (b *cfgBuilder) pushSwitch(label string, brk *Block) {
+	b.loopStack = append(b.loopStack, [2]*Block{b.breakTo, b.continueTo})
+	b.breakTo = brk
+	if label != "" {
+		li := b.labels[label]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[label] = li
+		}
+		li.Break = brk
+	}
+}
+
+func (b *cfgBuilder) popSwitch(label string) { b.popLoop(label) }
+
+// isTerminatingCall reports whether e is a call that never returns: the
+// panic builtin, os.Exit, runtime.Goexit, or the log.Fatal family.
+func (b *cfgBuilder) isTerminatingCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info != nil {
+			_, isBuiltin := b.info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+		return true
+	case *ast.SelectorExpr:
+		if b.info == nil {
+			return false
+		}
+		fn, ok := b.info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// Dump renders the CFG in the stable text form the golden-file tests pin:
+// one line per block listing its nodes and labeled successor edges.
+func (c *CFG) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s:\n", c.Name)
+	for _, blk := range c.Blocks {
+		if blk == c.Exit {
+			continue
+		}
+		fmt.Fprintf(&sb, "  b%d:", blk.ID)
+		if len(blk.Nodes) == 0 {
+			sb.WriteString(" []")
+		} else {
+			sb.WriteString(" [")
+			for i, n := range blk.Nodes {
+				if i > 0 {
+					sb.WriteString("; ")
+				}
+				sb.WriteString(renderNode(fset, n))
+			}
+			sb.WriteString("]")
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" =>")
+			for _, e := range blk.Succs {
+				sb.WriteString(" ")
+				if k := e.Kind.String(); k != "" {
+					sb.WriteString(k + ":")
+				}
+				if e.To == c.Exit {
+					sb.WriteString("exit")
+				} else {
+					fmt.Fprintf(&sb, "b%d", e.To.ID)
+				}
+			}
+		}
+		sb.WriteString("\n")
+	}
+	if len(c.Defers) > 0 {
+		sb.WriteString("  defers:")
+		for _, d := range c.Defers {
+			sb.WriteString(" " + renderNode(fset, d))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// renderNode prints one AST node on a single line. RangeStmt headers are
+// summarized (their body belongs to other blocks).
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		s := "range " + renderNode(fset, r.X)
+		if r.Key != nil {
+			kv := renderNode(fset, r.Key)
+			if r.Value != nil {
+				kv += ", " + renderNode(fset, r.Value)
+			}
+			s = kv + " := " + s
+		}
+		return s
+	}
+	var buf bytes.Buffer
+	cfgPrinter.Fprint(&buf, fset, n)
+	out := buf.String()
+	out = strings.ReplaceAll(out, "\n", " ")
+	out = strings.ReplaceAll(out, "\t", "")
+	return strings.Join(strings.Fields(out), " ")
+}
+
+var cfgPrinter = &printer.Config{Mode: printer.RawFormat}

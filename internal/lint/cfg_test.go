@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCFGShapes pins the block structure the dataflow engine is built on:
+// the dump of every function in the cfgshape fixture must match the golden
+// file byte-for-byte. Regenerate with UPDATE_CFG_GOLDEN=1 after reviewing
+// the builder change that moved it.
+func TestCFGShapes(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "cfgshape"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				cfg := BuildCFG(fd, pkg.Info)
+				sb.WriteString(cfg.Dump(prog.Fset))
+			}
+		}
+	}
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "cfgshape.golden")
+	if os.Getenv("UPDATE_CFG_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_CFG_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CFG dump drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestCFGInvariants checks structural properties the solver relies on, for
+// every function in the fixture: Entry is Blocks[0], Exit holds no nodes,
+// every non-Exit block either has successors or is unreachable dead code,
+// and Preds mirrors Succs.
+func TestCFGInvariants(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "cfgshape"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				cfg := BuildCFG(fd, pkg.Info)
+				if cfg.Entry != cfg.Blocks[0] {
+					t.Errorf("%s: entry is not Blocks[0]", cfg.Name)
+				}
+				if len(cfg.Exit.Nodes) != 0 || len(cfg.Exit.Succs) != 0 {
+					t.Errorf("%s: exit block must be empty and terminal", cfg.Name)
+				}
+				// Preds must mirror Succs exactly.
+				succCount := make(map[[2]int]int)
+				for _, blk := range cfg.Blocks {
+					for _, e := range blk.Succs {
+						succCount[[2]int{blk.ID, e.To.ID}]++
+					}
+				}
+				predCount := make(map[[2]int]int)
+				for _, blk := range cfg.Blocks {
+					for _, p := range blk.Preds {
+						predCount[[2]int{p.ID, blk.ID}]++
+					}
+				}
+				for k, v := range succCount {
+					if predCount[k] != v {
+						t.Errorf("%s: edge b%d->b%d has %d succ entries but %d pred entries",
+							cfg.Name, k[0], k[1], v, predCount[k])
+					}
+				}
+			}
+		}
+	}
+}

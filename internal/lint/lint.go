@@ -23,6 +23,9 @@
 //   - spanpair: every locally-owned telemetry span (Begin/Child/Fork) must
 //     be ended with a deferred End/Fail or an End/Fail before each return,
 //     so no migration span leaks open in the tracer.
+//   - immutable: fields annotated "// immutable after construction" may
+//     only be written by the declaring package's constructors (or composite
+//     literals), before the new value escapes the constructing frame.
 //
 // The driver is stdlib-only (go/parser + go/types with a recursive source
 // importer) so go.mod stays dependency-free. Individual findings are
@@ -239,6 +242,7 @@ func Checkers(cfg *Config) []Checker {
 		&wireProto{cfg: cfg},
 		&lockOrder{},
 		&spanPair{cfg: cfg},
+		&immutable{},
 	}
 }
 
@@ -246,6 +250,13 @@ func Checkers(cfg *Config) []Checker {
 // surviving (unsuppressed) diagnostics sorted by position. A nil cfg means
 // DefaultConfig for the module's own path.
 func Run(root string, cfg *Config) ([]Diagnostic, error) {
+	return RunRules(root, cfg, nil)
+}
+
+// RunRules is Run restricted to the named rules; a nil or empty list runs
+// them all. Malformed //lint:ignore directives are reported regardless —
+// suppression hygiene does not depend on which rules are selected.
+func RunRules(root string, cfg *Config, only []string) ([]Diagnostic, error) {
 	prog, err := Load(root)
 	if err != nil {
 		return nil, err
@@ -253,7 +264,18 @@ func Run(root string, cfg *Config) ([]Diagnostic, error) {
 	if cfg == nil {
 		cfg = DefaultConfig(prog.ModulePath)
 	}
-	return RunProgram(prog, Checkers(cfg)), nil
+	checkers := Checkers(cfg)
+	if len(only) > 0 {
+		sel := toSet(only)
+		var kept []Checker
+		for _, c := range checkers {
+			if sel[c.Name()] {
+				kept = append(kept, c)
+			}
+		}
+		checkers = kept
+	}
+	return RunProgram(prog, checkers), nil
 }
 
 // RunProgram applies checkers to an already loaded program.
@@ -270,6 +292,9 @@ func RunProgram(prog *Program, checkers []Checker) []Diagnostic {
 			}
 		}
 	}
+	// Fully deterministic order — file, line, rule, then column and message
+	// as tiebreaks — so repeated runs and CI archives diff cleanly even when
+	// one line carries several findings of the same rule.
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -278,7 +303,13 @@ func RunProgram(prog *Program, checkers []Checker) []Diagnostic {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }

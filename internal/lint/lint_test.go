@@ -66,18 +66,31 @@ func TestDeterminismFixture(t *testing.T) {
 	}
 }
 
+// TestLockDisciplineFixture pins the flow-sensitive rule's exact findings.
+// The cases after line 55 are the flow-sensitivity contract: a syntactic
+// reimplementation ("a Lock call appears somewhere in the body") misses
+// every finding in AfterUnlock/TryFail/BadCondUnlock/GoroutineLit and
+// cannot pass this test.
 func TestLockDisciplineFixture(t *testing.T) {
 	got := runFixture(t, "lock", &Config{})
 	want := []string{
-		"counter.go:39: lockdiscipline", // Racy reads n without the lock
-		"counter.go:51: ignore",         // BadIgnore's directive lacks a reason
-		"counter.go:52: lockdiscipline", // ...so the access still reports
+		"counter.go:39: lockdiscipline",  // Racy reads n without the lock
+		"counter.go:51: ignore",          // BadIgnore's directive lacks a reason
+		"counter.go:52: lockdiscipline",  // ...so the access still reports
+		"counter.go:64: lockdiscipline",  // AfterUnlock's read after unlock
+		"counter.go:71: lockdiscipline",  // TryFail reads on the failed branch
+		"counter.go:128: lockdiscipline", // BadCondUnlock's half-released tail
+		"counter.go:141: lockdiscipline", // GoroutineLit's cross-goroutine write
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("got %v, want %v", got, want)
 	}
 }
 
+// TestPlainFlowFixture pins the taint rule's exact findings. The iface.go
+// cases are the dynamic-dispatch contract: an analysis that bails on
+// indirect calls misses both findings (and a blanket "interface calls are
+// tainted" rule flags the all-sanitizing SealedIfaceOK) — neither can pass.
 func TestPlainFlowFixture(t *testing.T) {
 	got := runFixture(t, "taint", &Config{
 		TaintSources:    []string{"fxtaint/crypt.Decrypt"},
@@ -85,11 +98,31 @@ func TestPlainFlowFixture(t *testing.T) {
 		TaintSanitizers: []string{"fxtaint/crypt.Encrypt"},
 	})
 	want := []string{
-		"flow.go:13: plainflow", // LeakDirect: straight to the sink
-		"flow.go:20: plainflow", // LeakVia: through append and slicing
-		"flow.go:26: plainflow", // LeakLog: through log.Printf
-		"flow.go:36: plainflow", // LeakWrapped: through the relay wrapper
-		"flow.go:47: plainflow", // LeakReturned: summary-tainted result
+		"flow.go:13: plainflow",  // LeakDirect: straight to the sink
+		"flow.go:20: plainflow",  // LeakVia: through append and slicing
+		"flow.go:26: plainflow",  // LeakLog: through log.Printf
+		"flow.go:36: plainflow",  // LeakWrapped: through the relay wrapper
+		"flow.go:47: plainflow",  // LeakReturned: summary-tainted result
+		"iface.go:31: plainflow", // LeakIfaceSource: source behind dispatch
+		"iface.go:48: plainflow", // LeakIfaceSink: sink behind dispatch
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+// TestImmutableFixture pins the immutable rule's exact findings. The
+// flow-sensitivity contract: NewPublished and NewAsync write inside a
+// constructor — a purely syntactic "constructors may write" rule misses
+// both — while New/NewFilled/NewDeferred write the same field in the same
+// kind of function and must stay clean.
+func TestImmutableFixture(t *testing.T) {
+	got := runFixture(t, "immut", &Config{})
+	want := []string{
+		"box.go:32: immutable", // NewPublished: write after channel send
+		"box.go:40: immutable", // NewAsync: write from spawned goroutine
+		"box.go:56: immutable", // Reset: write outside any constructor
+		"ext.go:9: immutable",  // Rebrand: write outside declaring package
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("got %v, want %v", got, want)

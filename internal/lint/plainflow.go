@@ -19,9 +19,12 @@ import (
 // itself a sink for that parameter (so thin wrappers like writeOut cannot
 // launder plaintext). Taint propagates through assignments, field reads of
 // tainted values, slicing/indexing, append/copy, conversions, composite
-// literals, string concatenation and the fmt.Sprint family. Indirect calls
-// (function values, interface methods without a configured identity) do not
-// propagate — a documented soundness limit. Test files are exempt.
+// literals, string concatenation and the fmt.Sprint family. Interface
+// method calls dispatch to every module-defined implementation and merge
+// their summaries (tainted if ANY implementation taints, sanitized only if
+// ALL of them sanitize), so taint survives dynamic dispatch. Calls through
+// plain function values still do not propagate — a documented soundness
+// limit. Test files are exempt.
 type plainFlow struct {
 	cfg *Config
 
@@ -96,6 +99,7 @@ func (p *plainFlow) analyzeModule(prog *Program) map[*Package][]Diagnostic {
 	sinks := toSet(p.cfg.TaintSinks)
 	sanitizers := toSet(p.cfg.TaintSanitizers)
 	summaries := make(map[*types.Func]*flowSummary)
+	impls := newIfaceIndex(prog)
 
 	for iter := 0; iter < 16; iter++ {
 		changed := false
@@ -114,7 +118,7 @@ func (p *plainFlow) analyzeModule(prog *Program) map[*Package][]Diagnostic {
 						continue
 					}
 					fa := &flowFunc{pkg: pkg, cfg: p.cfg, sources: sources, sinks: sinks,
-						sanitizers: sanitizers, summaries: summaries}
+						sanitizers: sanitizers, summaries: summaries, impls: impls}
 					sum := fa.analyze(fd, fn, nil)
 					if prev, ok := summaries[fn]; !ok || !prev.equal(sum) {
 						summaries[fn] = sum
@@ -143,7 +147,7 @@ func (p *plainFlow) analyzeModule(prog *Program) map[*Package][]Diagnostic {
 				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
 				var found []Diagnostic
 				fa := &flowFunc{pkg: pkg, cfg: p.cfg, sources: sources, sinks: sinks,
-					sanitizers: sanitizers, summaries: summaries, fset: prog.Fset}
+					sanitizers: sanitizers, summaries: summaries, impls: impls, fset: prog.Fset}
 				fa.analyze(fd, fn, &found)
 				diags[pkg] = append(diags[pkg], found...)
 			}
@@ -168,6 +172,7 @@ type flowFunc struct {
 	sinks      map[string]bool
 	sanitizers map[string]bool
 	summaries  map[*types.Func]*flowSummary
+	impls      *ifaceIndex
 	fset       *token.FileSet
 
 	params  map[types.Object]int
@@ -447,6 +452,37 @@ func (fa *flowFunc) callResultTaints(call *ast.CallExpr, n int) []taintMark {
 		for i := range marks {
 			marks[i] = fa.translateResult(sum, sig, call, i, n)
 		}
+		return marks
+	}
+	if isIfaceMethod(fn) {
+		// Dynamic dispatch: any module implementation may be the callee, so
+		// the result carries the union of every implementation's marks. A
+		// sanitizing implementation contributes nothing, but it only keeps
+		// the site clean if every sibling implementation is clean too.
+		for _, impl := range fa.impls.implsOf(fn) {
+			implName := impl.FullName()
+			if fa.sanitizers[implName] {
+				continue
+			}
+			isig := impl.Type().(*types.Signature)
+			if fa.sources[implName] {
+				for i := range marks {
+					if resultTaintable(isig, i, n) && marks[i].src == "" {
+						marks[i].src = "result of " + implName + " (via " + name + ")"
+					}
+				}
+				continue
+			}
+			if sum, ok := fa.summaries[impl]; ok {
+				for i := range marks {
+					m := fa.translateResult(sum, isig, call, i, n)
+					if m.src != "" {
+						m.src += " (via " + name + ")"
+					}
+					marks[i] = marks[i].or(m)
+				}
+			}
+		}
 	}
 	return marks
 }
@@ -577,11 +613,50 @@ func (fa *flowFunc) checkSink(call *ast.CallExpr, sum *flowSummary, report *[]Di
 		}
 		return
 	}
-	if callee, ok := fa.summaries[fn]; ok && callee.sinkParams != 0 {
-		sig := fn.Type().(*types.Signature)
-		for p := 0; p < sig.Params().Len() && p < 64; p++ {
-			if callee.sinkParams&(1<<p) != 0 && p < len(call.Args) {
-				argSink(p, callee.sinkName+" (via "+name+")")
+	if callee, ok := fa.summaries[fn]; ok {
+		if callee.sinkParams != 0 {
+			sig := fn.Type().(*types.Signature)
+			for p := 0; p < sig.Params().Len() && p < 64; p++ {
+				if callee.sinkParams&(1<<p) != 0 && p < len(call.Args) {
+					argSink(p, callee.sinkName+" (via "+name+")")
+				}
+			}
+		}
+		return
+	}
+	if isIfaceMethod(fn) {
+		// Dynamic dispatch: a parameter sinks if ANY module implementation
+		// sinks it. Union the implementations' masks first so each argument
+		// reports at most once; the first sinking implementation (in the
+		// index's deterministic order) names the diagnostic.
+		var mask uint64
+		sinkName := make(map[int]string)
+		for _, impl := range fa.impls.implsOf(fn) {
+			implName := impl.FullName()
+			if fa.sinks[implName] {
+				for p := range call.Args {
+					if mask&(1<<p) == 0 {
+						sinkName[p] = implName + " (via " + name + ")"
+					}
+					if p < 64 {
+						mask |= 1 << p
+					}
+				}
+				continue
+			}
+			if callee, ok := fa.summaries[impl]; ok && callee.sinkParams != 0 {
+				isig := impl.Type().(*types.Signature)
+				for p := 0; p < isig.Params().Len() && p < 64; p++ {
+					if callee.sinkParams&(1<<p) != 0 && mask&(1<<p) == 0 {
+						mask |= 1 << p
+						sinkName[p] = callee.sinkName + " (via " + name + ")"
+					}
+				}
+			}
+		}
+		for p := range call.Args {
+			if p < 64 && mask&(1<<p) != 0 {
+				argSink(p, sinkName[p])
 			}
 		}
 	}

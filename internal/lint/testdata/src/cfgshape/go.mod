@@ -1,0 +1,3 @@
+module fxcfg
+
+go 1.22

@@ -1,0 +1,140 @@
+// Package shapes pins the CFG builder's block structure: every control
+// construct the dataflow engine claims to model has a function here whose
+// dump is compared against testdata/cfgshape.golden. If you change the
+// builder, regenerate with
+//
+//	UPDATE_CFG_GOLDEN=1 go test ./internal/lint/ -run TestCFGShapes
+//
+// and review the golden diff like any other code change.
+package shapes
+
+import "sync"
+
+var mu sync.Mutex
+var n int
+
+// If: one conditional, no else — the false edge skips the then block.
+func If(x int) int {
+	if x > 0 {
+		x++
+	}
+	return x
+}
+
+// IfElse: both arms return, so no join block survives.
+func IfElse(x int) int {
+	if x > 0 {
+		return 1
+	} else {
+		return -1
+	}
+}
+
+// IfEarlyReturn: the then arm leaves; only the fallthrough path reaches
+// the tail.
+func IfEarlyReturn(x int) int {
+	if x < 0 {
+		return 0
+	}
+	x *= 2
+	return x
+}
+
+// Loop: init/cond/post with a body and a back edge through the post block.
+func Loop(k int) int {
+	s := 0
+	for i := 0; i < k; i++ {
+		s += i
+	}
+	return s
+}
+
+// LoopForever: no condition — the only way out is the break.
+func LoopForever(k int) int {
+	for {
+		k--
+		if k == 0 {
+			break
+		}
+	}
+	return k
+}
+
+// RangeLoop: header branches T into the body, F past the loop.
+func RangeLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Switch: three clauses with a fallthrough chain and a default.
+func Switch(x int) int {
+	switch x {
+	case 0:
+		x = 10
+		fallthrough
+	case 1:
+		x = 20
+	default:
+		x = 30
+	}
+	return x
+}
+
+// SwitchNoDefault: the header keeps an edge past every clause.
+func SwitchNoDefault(x int) int {
+	switch x {
+	case 1:
+		x = 100
+	}
+	return x
+}
+
+// Select: one block per comm clause.
+func Select(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+		return 0
+	}
+}
+
+// DeferUnlock: the deferred call is recorded at the defer site and in the
+// CFG's defer list.
+func DeferUnlock() int {
+	mu.Lock()
+	defer mu.Unlock()
+	n++
+	return n
+}
+
+// PanicPath: panic terminates its block; the tail is unreachable from it.
+func PanicPath(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+// Labels: goto back edge plus a labeled break out of a nested loop.
+func Labels(k int) int {
+	s := 0
+retry:
+	s++
+	if s < k {
+		goto retry
+	}
+outer:
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i+j == 7 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}

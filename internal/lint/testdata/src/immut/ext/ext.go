@@ -1,0 +1,11 @@
+// Package ext writes another package's immutable field: even a function
+// shaped like a constructor may not do that from outside.
+package ext
+
+import "fximmut/box"
+
+// Rebrand returns a *box.Box, but it is not in the declaring package.
+func Rebrand(b *box.Box, id uint64) *box.Box {
+	b.ID = id // finding: write outside the declaring package
+	return b
+}

@@ -1,0 +1,3 @@
+module fximmut
+
+go 1.22

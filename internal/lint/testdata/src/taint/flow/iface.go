@@ -1,0 +1,68 @@
+package flow
+
+import "fxtaint/crypt"
+
+// --- interface-dispatch cases: an analysis that gives up on indirect
+// calls (the pre-dataflow-engine behavior) sees none of these flows and
+// cannot pass the fixture test. ---
+
+// Opener abstracts decryption behind an interface.
+type Opener interface {
+	OpenBlob(sealed []byte) []byte
+}
+
+// realOpener decrypts, so dispatch through Opener can yield plaintext.
+type realOpener struct{}
+
+func (realOpener) OpenBlob(sealed []byte) []byte {
+	p, _ := crypt.Decrypt(sealed)
+	return p
+}
+
+// nullOpener passes bytes through untouched.
+type nullOpener struct{}
+
+func (nullOpener) OpenBlob(sealed []byte) []byte { return sealed }
+
+// LeakIfaceSource leaks a value decrypted behind dynamic dispatch: the
+// realOpener implementation makes the interface call a source.
+func LeakIfaceSource(o Opener, sealed []byte) {
+	p := o.OpenBlob(sealed)
+	crypt.SendOut(p)
+}
+
+// Emitter abstracts the sink side.
+type Emitter interface {
+	Emit(b []byte)
+}
+
+// realEmitter forwards to the configured sink, so the interface method
+// inherits its sink-parameter summary.
+type realEmitter struct{}
+
+func (realEmitter) Emit(b []byte) { crypt.SendOut(b) }
+
+// LeakIfaceSink leaks plaintext into a dynamically dispatched sink wrapper.
+func LeakIfaceSink(e Emitter, sealed []byte) {
+	p, _ := crypt.Decrypt(sealed)
+	e.Emit(p)
+}
+
+// Sealer is an interface whose every module implementation sanitizes, so
+// dispatch through it stays clean.
+type Sealer interface {
+	Seal(b []byte) []byte
+}
+
+// xorSealer re-encrypts via the approved sanitizer.
+type xorSealer struct{}
+
+func (xorSealer) Seal(b []byte) []byte { return crypt.Encrypt(b) }
+
+// SealedIfaceOK routes plaintext through the all-sanitizing interface: the
+// negative case proving the union is over implementations, not a blanket
+// "interfaces are tainted" rule.
+func SealedIfaceOK(s Sealer, sealed []byte) {
+	p, _ := crypt.Decrypt(sealed)
+	crypt.SendOut(s.Seal(p))
+}

@@ -76,8 +76,8 @@ type SpanRecord struct {
 // Tracer collects spans. A nil *Tracer is the no-op tracer: Begin returns
 // a nil *Span and the whole span API degenerates to nil checks.
 type Tracer struct {
-	epoch   time.Time
-	seed    uint64 // ID-derivation seed; immutable after construction
+	epoch   time.Time // span-timestamp origin; immutable after construction
+	seed    uint64    // ID-derivation seed; immutable after construction
 	ids     atomic.Uint64
 	tracks  atomic.Uint64
 	sampleP atomic.Uint64 // math.Float64bits of the sampling probability
