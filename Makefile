@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint lint-budget lint-fixtures test race bench
+.PHONY: check build fmt vet lint lint-budget lint-fixtures test race bench fuzz-smoke
 
 check: build fmt vet lint test race
 
@@ -37,6 +37,14 @@ lint-fixtures:
 
 test:
 	$(GO) test ./...
+
+# Short coverage-guided runs of the native fuzz targets over the
+# untrusted-input parsers (traceparent headers, MsgImage blobs). CI runs
+# this budget on every push; longer local runs just raise -fuzztime.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/telemetry/ -run='^$$' -fuzz=FuzzExtract -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/ -run='^$$' -fuzz=FuzzParseImageBlob -fuzztime=$(FUZZTIME)
 
 race:
 	$(GO) test -race ./...

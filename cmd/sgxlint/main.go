@@ -7,6 +7,7 @@
 //
 //	go run ./cmd/sgxlint ./...
 //	go run ./cmd/sgxlint -json ./...
+//	go run ./cmd/sgxlint -sarif report.sarif ./...
 //	go run ./cmd/sgxlint -rule lockdiscipline,immutable ./...
 //	go run ./cmd/sgxlint -rules
 package main
@@ -27,6 +28,7 @@ func main() {
 	rules := flag.Bool("rules", false, "list the rules and exit")
 	ruleFilter := flag.String("rule", "", "comma-separated rule names to run (default: all; see -rules)")
 	jsonOut := flag.Bool("json", false, "print findings as a JSON array (same exit code); CI archives this")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 report to this file (combinable with -json; written before the findings exit code)")
 	flag.Parse()
 
 	if *rules {
@@ -72,6 +74,23 @@ func main() {
 	for i := range diags {
 		if rel, err := filepath.Rel(dir, diags[i].Pos.Filename); err == nil {
 			diags[i].Pos.Filename = rel
+		}
+	}
+	if *sarifOut != "" {
+		// The SARIF report is a side channel for code-scanning uploads:
+		// write it whether or not there are findings, before the exit
+		// code below, so CI's if:always() artifact step has it even on a
+		// red gate.
+		f, err := os.Create(*sarifOut)
+		if err == nil {
+			err = lint.WriteSARIF(f, diags, lint.DefaultConfig("repro"))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgxlint: sarif:", err)
+			os.Exit(2)
 		}
 	}
 	if *jsonOut {

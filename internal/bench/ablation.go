@@ -58,6 +58,7 @@ func AblationAgent(rtts []time.Duration) ([]AgentRow, error) {
 			}
 			blob, _, err := core.Dump(src, opts)
 			if err != nil {
+				_ = core.Cancel(src)
 				return nil, err
 			}
 			t1, t2 := core.NewPipe()
@@ -106,9 +107,11 @@ func AblationAgent(rtts []time.Duration) ([]AgentRow, error) {
 			}
 			blob, _, err := core.Dump(src, opts)
 			if err != nil {
+				_ = core.Cancel(src)
 				return nil, err
 			}
 			if err := agent.PreEstablish(src, opts); err != nil {
+				_ = core.Cancel(src)
 				return nil, err
 			}
 			t1, t2 := core.NewPipe()
@@ -230,6 +233,7 @@ func AblationNaiveVsTwoPhase(attempts int) (NaiveRow, error) {
 			}
 			blob, _, err := core.Dump(rt, opts)
 			if err != nil {
+				_ = core.Cancel(rt)
 				return row, err
 			}
 			row.TwoPhaseTime += time.Since(start)

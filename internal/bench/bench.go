@@ -209,6 +209,7 @@ func Fig9c(counts []int, cipher tcb.CheckpointCipher) ([]Fig9cRow, error) {
 			go func(rt *enclave.Runtime) {
 				defer wg.Done()
 				start := time.Now()
+				//lint:ignore leakcheck the launcher cancels and destroys every runtime after wg.Wait
 				if _, err := core.Prepare(rt, opts); err != nil {
 					mu.Lock()
 					if firstErr == nil {

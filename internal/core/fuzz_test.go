@@ -1,0 +1,45 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseImageBlob feeds the MsgImage parser raw attacker-controlled
+// bytes. The blob arrives from the untrusted network before any
+// authentication, so the parser must never panic or over-allocate no
+// matter what the length prefixes claim, must hold its documented field
+// bounds, and must parse exactly what imageBlob encodes.
+func FuzzParseImageBlob(f *testing.F) {
+	var mr [32]byte
+	copy(mr[:], bytes.Repeat([]byte{0xab}, 32))
+	f.Add(imageBlob("worker", mr, 4))
+	f.Add(imageBlob("", [32]byte{}, 0))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                    // name length near MaxUint32
+	f.Add([]byte{0xfc, 0xff, 0xff, 0xff, 0, 0, 0, 0})        // 4+n wraps 32-bit arithmetic
+	f.Add(append([]byte{3, 0, 0, 0}, []byte("abc")...))      // truncated after name
+	f.Add(imageBlob("trailing", mr, 1)[:20])                 // truncated mid-measurement
+	f.Add(append(imageBlob("extra", mr, 2), 1, 2, 3))        // trailing garbage
+	f.Add(append([]byte{0, 4, 0, 0}, make([]byte, 1060)...)) // name length over the cap
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		name, mr, threads, err := parseImageBlob(b)
+		if err != nil {
+			return
+		}
+		if len(name) > maxImageNameLen {
+			t.Fatalf("accepted name of %d bytes, cap is %d", len(name), maxImageNameLen)
+		}
+		if threads < 0 || threads > maxImageThreads {
+			t.Fatalf("accepted thread count %d, cap is %d", threads, maxImageThreads)
+		}
+		// Re-encoding the parsed fields must reproduce the consumed
+		// prefix byte for byte (the encoding is canonical; parse ignores
+		// trailing bytes).
+		enc := imageBlob(name, mr, threads)
+		if len(b) < len(enc) || !bytes.Equal(b[:len(enc)], enc) {
+			t.Fatalf("parse/encode mismatch:\n in  %x\n out %x", b, enc)
+		}
+	})
+}

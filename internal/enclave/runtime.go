@@ -192,6 +192,7 @@ func BuildSigned(host *Host, app *App, ss sgx.SigStruct, opts ...BuildOption) (*
 	}
 	eid, err := m.ECREATE(secs, prog, layout.TotalPages(), uint32(layout.NSSA))
 	if err != nil {
+		host.Mgr.ReturnFrame(secs)
 		return nil, fmt.Errorf("enclave: ECREATE: %w", err)
 	}
 	rt := &Runtime{
@@ -515,9 +516,14 @@ func ProgramFor(app *App) sgx.Program { return newProgram(app) }
 // Adopt wraps an already-existing enclave (e.g. one installed by the
 // hardware-extension ESWPIN path) in a Runtime so the ordinary ecall/ocall
 // machinery can drive it. The caller guarantees the enclave was built from
-// this app image.
-func Adopt(host *Host, app *App, eid sgx.EnclaveID, measurement [32]byte) (*Runtime, error) {
+// this app image. extraFrames are EPC frames the enclave occupies that are
+// not in the manager's page table (SECS, TCS); the Runtime owns them from
+// here and returns them on Destroy.
+func Adopt(host *Host, app *App, eid sgx.EnclaveID, measurement [32]byte, extraFrames ...sgx.FrameIndex) (*Runtime, error) {
 	if err := app.validate(); err != nil {
+		for _, f := range extraFrames {
+			host.Mgr.ReturnFrame(f)
+		}
 		return nil, err
 	}
 	prog := newProgram(app)
@@ -531,6 +537,7 @@ func Adopt(host *Host, app *App, eid sgx.EnclaveID, measurement [32]byte) (*Runt
 		measurement: measurement,
 		shared:      NewSharedRegion(SharedSizeFor(prog.layout)),
 		ctlLP:       m.NewLP(),
+		extraFrames: extraFrames,
 	}
 	host.Disp.Register(eid, host.Mgr)
 	rt.workers = make([]*workerState, app.Workers)

@@ -329,37 +329,56 @@ func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployme
 	}
 	eid2, err := dstM.ESWPINSECS(secsFrame, secs, enclave.ProgramFor(dep.App))
 	if err != nil {
+		dstP.Host.Mgr.ReturnFrame(secsFrame)
 		return fail(fmt.Errorf("hwext: ESWPINSECS: %w", err))
+	}
+	// Frames the manager's page table does not cover (SECS, TCS) belong to
+	// the adopted runtime; until adoption, cleanupTarget owns them.
+	extra := []sgx.FrameIndex{secsFrame}
+	cleanupTarget := func() {
+		_ = dstM.DestroyEnclave(eid2)
+		dstP.Host.Mgr.ForgetEnclave(eid2)
+		for _, fr := range extra {
+			dstP.Host.Mgr.ReturnFrame(fr)
+		}
 	}
 	for batch := range chunks {
 		for _, mp := range batch {
 			f, err := dstP.Host.Mgr.AllocFrame()
 			if err != nil {
+				cleanupTarget()
 				return fail(err)
 			}
 			if err := dstM.ESWPIN(f, eid2, mp); err != nil {
+				dstP.Host.Mgr.ReturnFrame(f)
+				cleanupTarget()
 				return fail(fmt.Errorf("hwext: ESWPIN page %d: %w", mp.Lin, err))
 			}
 			if mp.Type == sgx.PTReg {
 				dstP.Host.Mgr.NotePage(eid2, mp.Lin, f)
+			} else {
+				extra = append(extra, f)
 			}
 		}
 		installCtr.Add(int64(len(batch)))
 		qGauge.Set(int64(len(chunks)))
 	}
 	if err := <-prodErr; err != nil {
+		cleanupTarget()
 		return nil, err
 	}
 	inSp.End()
 	if err := dstM.EMIGRATEDONE(eid2); err != nil {
+		cleanupTarget()
 		return nil, fmt.Errorf("hwext: EMIGRATEDONE: %w", err)
 	}
 
 	// The source instance stays frozen forever (single-instance property at
-	// the hardware level) and its EPC is reclaimed.
-	_ = srcM.DestroyEnclave(eid)
-	src.Host().Disp.Unregister(eid)
-	src.Host().Mgr.ForgetEnclave(eid)
+	// the hardware level) and its EPC is reclaimed — Destroy also returns
+	// the SECS/TCS frames the manager's page table does not cover, which
+	// the old inline teardown (DestroyEnclave/Unregister/ForgetEnclave)
+	// used to leak.
+	_ = src.Destroy()
 
-	return enclave.Adopt(dstP.Host, dep.App, eid2, dep.Sig.Measurement)
+	return enclave.Adopt(dstP.Host, dep.App, eid2, dep.Sig.Measurement, extra...)
 }

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadLeakFixture loads the leakcheck fixture module and its call graph.
+func loadLeakFixture(t *testing.T) *CallGraph {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "leak"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.CallGraph()
+}
+
+// TestCallGraphBottomUp checks the structural invariant the summary solver
+// relies on: SCCs come out in bottom-up order, so every edge lands in a
+// component at or before its caller's.
+func TestCallGraphBottomUp(t *testing.T) {
+	g := loadLeakFixture(t)
+	if len(g.SCCs()) == 0 {
+		t.Fatal("empty condensation")
+	}
+	for _, comp := range g.SCCs() {
+		for _, fn := range comp {
+			for _, callee := range g.callees[fn] {
+				if g.sccIndex[callee] > g.sccIndex[fn] {
+					t.Errorf("edge %s -> %s goes up the condensation (%d -> %d)",
+						fn.FullName(), callee.FullName(), g.sccIndex[fn], g.sccIndex[callee])
+				}
+			}
+		}
+	}
+}
+
+// TestCallGraphEdges spot-checks resolved edges and recursion detection on
+// the fixture: GoodViaHelper statically calls its helpers, and releaseRec
+// is self-recursive (its own one-function SCC with a self-edge).
+func TestCallGraphEdges(t *testing.T) {
+	g := loadLeakFixture(t)
+	byName := make(map[string]int) // function name -> SCC index
+	var releaseRecEdges []string
+	for _, comp := range g.SCCs() {
+		for _, fn := range comp {
+			byName[fn.Name()] = g.sccIndex[fn]
+			if fn.Name() == "releaseRec" {
+				for _, c := range g.callees[fn] {
+					releaseRecEdges = append(releaseRecEdges, c.Name())
+				}
+				if !g.selfRecursive(fn) {
+					t.Error("releaseRec should be self-recursive")
+				}
+				if !g.SameSCC(fn, fn) {
+					t.Error("SameSCC should hold reflexively for graph members")
+				}
+			}
+		}
+	}
+	for _, name := range []string{"GoodViaHelper", "cleanup", "build", "releaseRec", "AllocFrame"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("%s missing from call graph", name)
+		}
+	}
+	// Callees sit in earlier (or equal, for recursion) components.
+	if byName["cleanup"] >= byName["GoodViaHelper"] || byName["build"] >= byName["GoodViaHelper"] {
+		t.Errorf("helpers should condense before GoodViaHelper: cleanup=%d build=%d caller=%d",
+			byName["cleanup"], byName["build"], byName["GoodViaHelper"])
+	}
+	found := false
+	for _, e := range releaseRecEdges {
+		if e == "releaseRec" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("releaseRec should have a self-edge, has %v", releaseRecEdges)
+	}
+}

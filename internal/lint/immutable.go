@@ -24,13 +24,25 @@ import (
 // are findings even inside the constructor — the annotation's whole point
 // is that observers need no lock.
 //
-// Deliberate limits, matching the annotation's field granularity: writes
-// through an alias (`p := &b.f; *p = v`) and mutation by a same-package
-// callee are not tracked, and a method call on the new value does not
-// count as an escape (constructors call their own helpers freely).
+// Two interprocedural upgrades run over the shared call graph's summary
+// solver (aliasing.go): writes through an alias of an annotated field are
+// classified as writes to the field itself — whether the alias is taken
+// locally (`p := &b.f; *p = v`) or returned by a same-module helper
+// (`*idPtr(b) = v`) — and same-package calls, which a purely local
+// analysis must treat as non-escaping, consult the callee's publish
+// summary, so a helper that stores its argument into a package-level
+// variable, a channel, or a goroutine publishes it at the call site too
+// (receivers included: a method call escapes the new value exactly when
+// the method publishes its receiver).
+//
+// Deliberate limit, matching the annotation's field granularity: mutation
+// of the field by a same-package callee is attributed to the callee (it
+// is reported there), never to the call site.
 type immutable struct {
-	prog   *Program
-	fields map[token.Pos]immutField
+	prog     *Program
+	fields   map[token.Pos]immutField
+	aliasRet map[*types.Func]aliasRetSummary
+	pub      map[*types.Func]publishSummary
 }
 
 func (*immutable) Name() string { return "immutable" }
@@ -51,6 +63,13 @@ func (im *immutable) Check(prog *Program, pkg *Package) []Diagnostic {
 	if im.prog != prog {
 		im.prog = prog
 		im.fields = collectImmutableFields(prog)
+		im.aliasRet = nil
+		im.pub = nil
+		if len(im.fields) > 0 {
+			g := prog.CallGraph()
+			im.aliasRet = SolveSummaries[aliasRetSummary](g, aliasRetAnalysis{fields: im.fields})
+			im.pub = SolveSummaries[publishSummary](g, publishAnalysis{graph: g})
+		}
 	}
 	if len(im.fields) == 0 {
 		return nil
@@ -115,7 +134,7 @@ func collectImmutableFields(prog *Program) map[token.Pos]immutField {
 // disallowed write to an annotated field.
 func (im *immutable) checkFunc(prog *Program, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
-	an := &escapeAnalysis{pkg: pkg, entry: escapeFact{}}
+	an := &escapeAnalysis{pkg: pkg, entry: escapeFact{}, pub: im.pub, graph: prog.CallGraph()}
 	// Parameters, the receiver, and named results arriving from the caller
 	// are caller-visible from the start; only values the function itself
 	// creates begin unescaped.
@@ -129,6 +148,7 @@ func (im *immutable) checkFunc(prog *Program, pkg *Package, fd *ast.FuncDecl) []
 		}
 	}
 	an.litBinds = collectLitBinds(pkg, fd.Body)
+	an.aliasBinds = collectAliasBinds(pkg, im.fields, im.aliasRet, fd.Body)
 	constructs := constructedTypes(fn)
 	cfg := BuildCFG(fd, pkg.Info)
 	return im.checkEscapeCFG(prog, pkg, cfg, an, constructs, fd.Name.Name)
@@ -158,7 +178,7 @@ func (im *immutable) checkEscapeCFG(prog *Program, pkg *Package, cfg *CFG, an *e
 			work := f.clone()
 			an.scanNode(n, work,
 				func(lhs ast.Expr, escaped escapeFact) {
-					d := im.classifyWrite(prog, pkg, lhs, escaped, constructs, funcName)
+					d := im.classifyWrite(prog, pkg, lhs, an, escaped, constructs, funcName)
 					if d != nil {
 						diags = append(diags, *d)
 					}
@@ -176,7 +196,8 @@ func (im *immutable) checkEscapeCFG(prog *Program, pkg *Package, cfg *CFG, an *e
 	}
 
 	for _, lw := range lits {
-		litAn := &escapeAnalysis{pkg: pkg, entry: lw.entry, litBinds: an.litBinds}
+		litAn := &escapeAnalysis{pkg: pkg, entry: lw.entry, litBinds: an.litBinds,
+			aliasBinds: an.aliasBinds, pub: an.pub, graph: an.graph}
 		litCFG := BuildLitCFG(funcName+".func", lw.lit, pkg.Info)
 		diags = append(diags, im.checkEscapeCFG(prog, pkg, litCFG, litAn, constructs, funcName)...)
 	}
@@ -187,9 +208,13 @@ func (im *immutable) checkEscapeCFG(prog *Program, pkg *Package, cfg *CFG, an *e
 // "immutable after construction" annotation. The written field is the
 // deepest selector of the target, looking through indexing and
 // dereference: `x.f = v`, `x.f[i] = v` and `*x.f = v` all write f, while
-// `x.f.g = v` writes g (per-field granularity).
-func (im *immutable) classifyWrite(prog *Program, pkg *Package, lhs ast.Expr, escaped escapeFact, constructs map[*types.TypeName]bool, funcName string) *Diagnostic {
+// `x.f.g = v` writes g (per-field granularity). A dereferenced alias of
+// an annotated field — a local bound to `&x.f` or to a helper returning
+// one, or the helper call itself (`*idPtr(x) = v`) — is the same write,
+// attributed to the aliased variable.
+func (im *immutable) classifyWrite(prog *Program, pkg *Package, lhs ast.Expr, an *escapeAnalysis, escaped escapeFact, constructs map[*types.TypeName]bool, funcName string) *Diagnostic {
 	e := ast.Unparen(lhs)
+	derefed := false
 	for {
 		switch x := e.(type) {
 		case *ast.IndexExpr:
@@ -197,25 +222,51 @@ func (im *immutable) classifyWrite(prog *Program, pkg *Package, lhs ast.Expr, es
 			continue
 		case *ast.StarExpr:
 			e = ast.Unparen(x.X)
+			derefed = true
 			continue
 		}
 		break
 	}
-	sel, ok := e.(*ast.SelectorExpr)
-	if !ok {
+	var (
+		fldPos token.Pos
+		base   types.Object
+		pos    token.Pos
+	)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		obj, ok := pkg.Info.Uses[x.Sel].(*types.Var)
+		if !ok {
+			return nil
+		}
+		if _, ok := im.fields[obj.Pos()]; !ok {
+			return nil
+		}
+		fldPos, base, pos = obj.Pos(), baseVar(pkg, x.X), x.Sel.Pos()
+	case *ast.Ident:
+		if !derefed {
+			return nil
+		}
+		tgt, ok := an.aliasBinds[identObj(pkg, x)]
+		if !ok {
+			return nil
+		}
+		fldPos, base, pos = tgt.fld, tgt.base, x.Pos()
+	case *ast.CallExpr:
+		if !derefed {
+			return nil
+		}
+		fp, b, ok := aliasedByCall(pkg, im.aliasRet, x)
+		if !ok {
+			return nil
+		}
+		fldPos, base, pos = fp, b, x.Lparen
+	default:
 		return nil
 	}
-	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
-	if !ok {
-		return nil
-	}
-	fld, ok := im.fields[obj.Pos()]
-	if !ok {
-		return nil
-	}
+	fld := im.fields[fldPos]
 	diag := func(format string, args ...any) *Diagnostic {
 		return &Diagnostic{
-			Pos:     prog.Fset.Position(sel.Sel.Pos()),
+			Pos:     prog.Fset.Position(pos),
 			Rule:    "immutable",
 			Message: fmt.Sprintf(format, args...),
 		}
@@ -228,7 +279,7 @@ func (im *immutable) classifyWrite(prog *Program, pkg *Package, lhs ast.Expr, es
 		return diag("field %s.%s is immutable after construction, but %s is not a constructor of %s (writes are only allowed in functions returning %s or *%s, or via composite literals)",
 			tname, fld.name, funcName, tname, tname, tname)
 	}
-	if base := baseVar(pkg, sel.X); base == nil || escaped[base] || pkgLevel(pkg, base) {
+	if base == nil || escaped[base] || pkgLevel(pkg, base) {
 		return diag("field %s.%s is written after the new %s may have escaped %s (published to another goroutine, package, or caller-visible location)",
 			tname, fld.name, tname, funcName)
 	}
@@ -277,6 +328,13 @@ type escapeAnalysis struct {
 	// function literals bound to it, so publishing the local publishes what
 	// its closures captured.
 	litBinds map[token.Pos][]types.Object
+	// aliasBinds maps locals holding a pointer into an annotated field to
+	// the aliased variable, so publishing the pointer publishes it too.
+	aliasBinds map[types.Object]aliasTarget
+	// pub holds the module's publish summaries; same-package call sites
+	// consult them instead of assuming their operands stay in-frame.
+	pub   map[*types.Func]publishSummary
+	graph *CallGraph
 }
 
 func (a *escapeAnalysis) Entry() escapeFact             { return a.entry.clone() }
@@ -362,16 +420,44 @@ func (a *escapeAnalysis) scanNode(n ast.Node, f escapeFact, onWrite func(ast.Exp
 			a.escapeExpr(x.Value, f)
 			return false
 		case *ast.CallExpr:
-			if a.callEscapesArgs(x, inGo) {
-				for _, arg := range x.Args {
-					a.escapeExpr(arg, f)
-				}
-			}
+			a.escapeCall(x, inGo, f)
 			return true
 		}
 		return true
 	}
 	ast.Inspect(n, walk)
+}
+
+// escapeCall applies one call's publishing effect: every argument of a
+// call that callEscapesArgs (cross-package, indirect, in a `go`
+// statement) escapes wholesale; a static same-package call escapes
+// exactly the operands — receiver included — that the callee's publish
+// summary says it may publish.
+func (a *escapeAnalysis) escapeCall(call *ast.CallExpr, inGo bool, f escapeFact) {
+	if a.callEscapesArgs(call, inGo) {
+		for _, arg := range call.Args {
+			a.escapeExpr(arg, f)
+		}
+		return
+	}
+	fn := staticCallee(a.pkg, call)
+	if fn == nil || a.pub == nil {
+		return
+	}
+	ps, ok := a.pub[fn]
+	if !ok || !ps.ok {
+		return
+	}
+	ops := callOperandExprs(a.pkg, call, fn)
+	for i, e := range ops {
+		ci := i
+		if len(ps.params) > 0 && ci >= len(ps.params) {
+			ci = len(ps.params) - 1 // variadic tail
+		}
+		if ci < len(ps.params) && ps.params[ci] && e != nil {
+			a.escapeExpr(e, f)
+		}
+	}
 }
 
 // callEscapesArgs reports whether a call may retain or publish its
@@ -426,6 +512,10 @@ func (a *escapeAnalysis) escapeExpr(e ast.Expr, f escapeFact) {
 	f[base] = true
 	for _, obj := range a.litBinds[base.Pos()] {
 		f[obj] = true
+	}
+	// Publishing a pointer into an annotated field publishes its owner.
+	if tgt, ok := a.aliasBinds[base]; ok && tgt.base != nil {
+		f[tgt.base] = true
 	}
 }
 

@@ -26,6 +26,11 @@
 //   - immutable: fields annotated "// immutable after construction" may
 //     only be written by the declaring package's constructors (or composite
 //     literals), before the new value escapes the constructing frame.
+//   - leakcheck: acquire/release resource pairing over the module-wide call
+//     graph — every EPC frame, prepared migration session, quiesced source,
+//     and telemetry span must reach a release or escape to a live owner on
+//     every CFG path, with interprocedural credit for callees whose
+//     bottom-up summary performs the release.
 //
 // The driver is stdlib-only (go/parser + go/types with a recursive source
 // importer) so go.mod stays dependency-free. Individual findings are
@@ -107,6 +112,29 @@ type Config struct {
 	// Begin/Child/Fork results must be paired with End/Fail in the creating
 	// function unless the span escapes it (spanpair rule).
 	SpanTypes []string
+
+	// Resources are the acquire/release pairs the leakcheck rule enforces
+	// module-wide. An empty list disables the rule (fixture configs opt in
+	// explicitly).
+	Resources []Resource
+}
+
+// Resource describes one resource lifecycle for the leakcheck rule.
+type Resource struct {
+	// Kind labels the resource in diagnostics ("epc-frame", "span", ...).
+	Kind string
+	// Acquires are acquiring function identities in types.Func.FullName
+	// form. Plain "FullName" means the call's first result holds the
+	// resource (conventionally paired with a trailing error result);
+	// "FullName@argN" means calling it places argument N into the acquired
+	// state — used for core.Prepare, which quiesces the enclave passed to
+	// it.
+	Acquires []string
+	// Releases are function identities that release the resource when it
+	// appears as the receiver or any argument. Releases performed deeper in
+	// the call tree need no entry here: the bottom-up summary propagates
+	// them (destroyQuietly is credited because it calls Runtime.Destroy).
+	Releases []string
 }
 
 // WireStruct names one wire-format struct and its codec functions for the
@@ -219,6 +247,72 @@ func DefaultConfig(modPath string) *Config {
 		SpanTypes: []string{
 			modPath + "/internal/telemetry.Span",
 		},
+		Resources: []Resource{
+			{
+				Kind:     "epc-frame",
+				Acquires: []string{"(*" + modPath + "/internal/epcman.Manager).AllocFrame"},
+				Releases: []string{
+					"(*" + modPath + "/internal/epcman.Manager).ReturnFrame",
+					// NotePage hands the frame to the manager's page table:
+					// from then on eviction/teardown owns it.
+					"(*" + modPath + "/internal/epcman.Manager).NotePage",
+				},
+			},
+			{
+				Kind: "built-enclave",
+				Acquires: []string{
+					modPath + "/internal/enclave.Build",
+					modPath + "/internal/enclave.BuildSigned",
+				},
+				// destroyQuietly needs no entry: the summary solver credits
+				// it because it calls Runtime.Destroy.
+				Releases: []string{"(*" + modPath + "/internal/enclave.Runtime).Destroy"},
+			},
+			{
+				Kind: "prepared-source",
+				Acquires: []string{
+					modPath + "/internal/core.MigrateOutChannel",
+					modPath + "/internal/core.migrateOutChannel",
+				},
+				Releases: []string{
+					"(*" + modPath + "/internal/core.PreparedSource).Release",
+					"(*" + modPath + "/internal/core.PreparedSource).Cancel",
+				},
+			},
+			{
+				Kind:     "prepared-target",
+				Acquires: []string{modPath + "/internal/core.MigrateInPrepare"},
+				Releases: []string{
+					"(*" + modPath + "/internal/core.PreparedTarget).Finish",
+					"(*" + modPath + "/internal/core.PreparedTarget).Abort",
+				},
+			},
+			{
+				Kind: "quiesced-source",
+				// Prepare quiesces the runtime passed as its first argument;
+				// on error it self-cancels, which the err-pairing encodes.
+				Acquires: []string{modPath + "/internal/core.Prepare@arg0"},
+				Releases: []string{
+					modPath + "/internal/core.Cancel",
+					"(*" + modPath + "/internal/enclave.Runtime).EndMigration",
+					// Destroying the runtime ends its quiescence with it.
+					"(*" + modPath + "/internal/enclave.Runtime).Destroy",
+				},
+			},
+			{
+				Kind: "span",
+				Acquires: []string{
+					"(*" + modPath + "/internal/telemetry.Tracer).Begin",
+					"(*" + modPath + "/internal/telemetry.Tracer).BeginRemote",
+					"(*" + modPath + "/internal/telemetry.Span).Child",
+					"(*" + modPath + "/internal/telemetry.Span).Fork",
+				},
+				Releases: []string{
+					"(*" + modPath + "/internal/telemetry.Span).End",
+					"(*" + modPath + "/internal/telemetry.Span).Fail",
+				},
+			},
+		},
 	}
 }
 
@@ -243,6 +337,7 @@ func Checkers(cfg *Config) []Checker {
 		&lockOrder{},
 		&spanPair{cfg: cfg},
 		&immutable{},
+		&leakCheck{cfg: cfg},
 	}
 }
 

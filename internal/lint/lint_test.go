@@ -115,14 +115,25 @@ func TestPlainFlowFixture(t *testing.T) {
 // flow-sensitivity contract: NewPublished and NewAsync write inside a
 // constructor — a purely syntactic "constructors may write" rule misses
 // both — while New/NewFilled/NewDeferred write the same field in the same
-// kind of function and must stay clean.
+// kind of function and must stay clean. The interprocedural contract
+// (alias.go): NewRegistered/NewSelfPublished escape only through a
+// same-package callee's publish summary, the aliased writes are reached
+// only through alias binds and alias-return summaries, and NewNoted /
+// NewViaHelperAlias must stay clean — neither a purely local analysis
+// nor a "same-package calls always escape" approximation passes.
 func TestImmutableFixture(t *testing.T) {
 	got := runFixture(t, "immut", &Config{})
 	want := []string{
-		"box.go:32: immutable", // NewPublished: write after channel send
-		"box.go:40: immutable", // NewAsync: write from spawned goroutine
-		"box.go:56: immutable", // Reset: write outside any constructor
-		"ext.go:9: immutable",  // Rebrand: write outside declaring package
+		"alias.go:23: immutable", // NewAliasedLate: aliased write after send
+		"alias.go:47: immutable", // NewHelperAliasLate: helper alias after go
+		"alias.go:66: immutable", // NewRegistered: register's summary publishes b
+		"alias.go:74: immutable", // NewRegisteredVia: publish two calls deep
+		"alias.go:95: immutable", // NewSelfPublished: method publishes receiver
+		"box.go:32: immutable",   // NewPublished: write after channel send
+		"box.go:40: immutable",   // NewAsync: write from spawned goroutine
+		"box.go:56: immutable",   // Reset: write outside any constructor
+		"ext.go:9: immutable",    // Rebrand: write outside declaring package
+		"ext.go:17: immutable",   // Sidestep: aliased cross-package write
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("got %v, want %v", got, want)
@@ -171,6 +182,45 @@ func TestLockOrderFixture(t *testing.T) {
 		"locks.go:18: lockorder", // AB acquires b after a ...
 		"locks.go:27: lockorder", // ... while BA acquires a after b
 		"locks.go:41: lockorder", // Add re-enters mu through bump
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+// TestLeakCheckFixture pins the leak rule's exact findings. The
+// interprocedural contract: GoodViaHelper/GoodRecursive release through
+// callees and must stay clean (a purely local analysis flags both),
+// while BadThroughCallee passes the resource to a callee that does not
+// release it and must still report.
+func TestLeakCheckFixture(t *testing.T) {
+	got := runFixture(t, "leak", &Config{
+		Resources: []Resource{
+			{
+				Kind:     "frame",
+				Acquires: []string{"(*fxleak/mgr.Mgr).AllocFrame"},
+				Releases: []string{"(*fxleak/mgr.Mgr).ReturnFrame", "(*fxleak/mgr.Mgr).Note"},
+			},
+			{
+				Kind:     "session",
+				Acquires: []string{"fxleak/mgr.Open"},
+				Releases: []string{"(*fxleak/mgr.Session).Close"},
+			},
+			{
+				Kind:     "quiesced",
+				Acquires: []string{"fxleak/mgr.Quiesce@arg0"},
+				Releases: []string{"fxleak/mgr.Unquiesce"},
+			},
+		},
+	})
+	want := []string{
+		"app.go:39: leakcheck",  // BuildImage: pre-PR3-style post-build error leak
+		"app.go:77: leakcheck",  // BadThroughCallee: peek gives no release credit
+		"app.go:158: leakcheck", // BadDiscard: result dropped on the floor
+		"app.go:164: leakcheck", // BadOverwrite: re-acquire over a held frame
+		"app.go:180: leakcheck", // BadSession: early return skips Close
+		"app.go:202: leakcheck", // BadQuiesce: busy path skips Unquiesce
+		"app.go:227: leakcheck", // BadInLit: leak inside a function literal
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("got %v, want %v", got, want)

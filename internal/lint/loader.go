@@ -30,6 +30,8 @@ type Program struct {
 	Root       string
 	Fset       *token.FileSet
 	Packages   []*Package // sorted by import path
+
+	callgraph *CallGraph // built lazily by CallGraph(), shared across rules
 }
 
 // Load parses and type-checks every package under root (a directory

@@ -1,0 +1,127 @@
+package lint
+
+// SARIF 2.1.0 encoding of sgxlint findings, kept in the library so the
+// CLI and the tests share one implementation. Only the subset of the
+// schema that code-scanning UIs actually read is modelled: one run, the
+// rule catalogue on the tool driver, and one result per diagnostic with
+// a physical location. Everything else the spec allows is omitted.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID string `json:"ruleId"`
+	// RuleIndex points into driver.rules; -1 (the schema default) marks a
+	// finding whose rule is not in the catalogue.
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders diags as a SARIF 2.1.0 log. The rule catalogue is
+// taken from Checkers(cfg) so every rule appears in the driver metadata
+// even when it produced no findings; diagnostic filenames are expected to
+// already be relative to the module root (the CLI rewrites them) and are
+// emitted with forward slashes under the %SRCROOT% base, which is what
+// upload-time ingestion resolves against the checkout.
+func WriteSARIF(w io.Writer, diags []Diagnostic, cfg *Config) error {
+	checkers := Checkers(cfg)
+	rules := make([]sarifRule, len(checkers))
+	index := make(map[string]int, len(checkers))
+	for i, c := range checkers {
+		rules[i] = sarifRule{ID: c.Name(), ShortDescription: sarifMessage{Text: c.Doc()}}
+		index[c.Name()] = i
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		ri := -1
+		if i, ok := index[d.Rule]; ok {
+			ri = i
+		}
+		loc := sarifLocation{PhysicalLocation: sarifPhysicalLocation{
+			ArtifactLocation: sarifArtifactLocation{
+				URI:       filepath.ToSlash(d.Pos.Filename),
+				URIBaseID: "%SRCROOT%",
+			},
+		}}
+		if d.Pos.Line > 0 {
+			loc.PhysicalLocation.Region = &sarifRegion{StartLine: d.Pos.Line}
+			if d.Pos.Column > 0 {
+				loc.PhysicalLocation.Region.StartColumn = d.Pos.Column
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: ri,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{loc},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "sgxlint", InformationURI: "docs/LINT.md", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -9,3 +9,10 @@ func Rebrand(b *box.Box, id uint64) *box.Box {
 	b.ID = id // finding: write outside the declaring package
 	return b
 }
+
+// Sidestep takes the field's address first; the aliased write is still a
+// cross-package write.
+func Sidestep(b *box.Box, id uint64) {
+	p := &b.ID
+	*p = id // finding: aliased write outside the declaring package
+}

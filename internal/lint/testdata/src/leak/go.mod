@@ -1,0 +1,3 @@
+module fxleak
+
+go 1.22

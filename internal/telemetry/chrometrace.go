@@ -16,6 +16,8 @@ type chromeEvent struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat,omitempty"`
 	Ph   string            `json:"ph"`
+	ID   string            `json:"id,omitempty"` // flow-event binding ("s"/"f" pairs)
+	BP   string            `json:"bp,omitempty"` // flow binding point; "e" = enclosing slice
 	Ts   float64           `json:"ts"`
 	Dur  float64           `json:"dur,omitempty"`
 	PID  uint64            `json:"pid"`
@@ -187,6 +189,14 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Args: map[string]string{"name": r.Name},
 		})
 	}
+	// Index spans by SpanID so links can resolve their peer's slice; a
+	// link whose peer is absent (not shipped here) still shows in Args.
+	bySpan := make(map[SpanID]SpanRecord, len(recs))
+	for _, r := range recs {
+		if !r.SpanID.IsZero() {
+			bySpan[r.SpanID] = r
+		}
+	}
 	for _, r := range recs {
 		ev := chromeEvent{
 			Name: r.Name,
@@ -216,10 +226,35 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if !r.ParentSpan.IsZero() {
 			ev.Args["parent_span_id"] = r.ParentSpan.String()
 		}
+		for i, l := range r.Links {
+			ev.Args["link_"+strconv.Itoa(i)] = l.SpanID.String()
+		}
 		if len(ev.Args) == 0 {
 			ev.Args = nil
 		}
 		trace.TraceEvents = append(trace.TraceEvents, ev)
+
+		// A link renders as a flow arrow from the linked span ("s", at its
+		// end) into this one ("f" bound to the enclosing slice, at its
+		// start) when the peer's record is in this export.
+		for _, l := range r.Links {
+			peer, ok := bySpan[l.SpanID]
+			if !ok || r.SpanID.IsZero() {
+				continue
+			}
+			flowID := l.SpanID.String() + "-" + r.SpanID.String()
+			trace.TraceEvents = append(trace.TraceEvents,
+				chromeEvent{
+					Name: "link", Cat: "sgxmig.flow", Ph: "s", ID: flowID,
+					Ts:  float64((peer.Start + peer.Dur).Nanoseconds()) / 1e3,
+					PID: pids[peer.Proc], TID: peer.Track,
+				},
+				chromeEvent{
+					Name: "link", Cat: "sgxmig.flow", Ph: "f", BP: "e", ID: flowID,
+					Ts:  float64(r.Start.Nanoseconds()) / 1e3,
+					PID: pids[r.Proc], TID: r.Track,
+				})
+		}
 	}
 	return writeJSON(w, trace)
 }

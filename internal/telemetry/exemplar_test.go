@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	tr := NewSeeded(3)
+	sp := tr.Begin("vmm.pagecopy")
+	h := NewHistogram([]int64{10, 100, 1000})
+
+	h.ObserveExemplar(5, sp.Context())    // bucket le 10
+	h.ObserveExemplar(5000, sp.Context()) // overflow bucket
+	h.Observe(50)                         // untraced: no exemplar for le 100
+	h.ObserveExemplar(70, Context{})      // zero context: counted, no exemplar
+	sp.End()
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if ex := s.Exemplars[0]; ex == nil || ex.Value != 5 || ex.SpanID != sp.Context().SpanID {
+		t.Errorf("bucket 0 exemplar = %+v, want value 5 from span %s", ex, sp.Context().SpanID)
+	}
+	if s.Exemplars[1] != nil {
+		t.Errorf("bucket 1 should have no exemplar (untraced + zero-context observations), got %+v", s.Exemplars[1])
+	}
+	if ex := s.Exemplars[3]; ex == nil || ex.Value != 5000 {
+		t.Errorf("overflow exemplar = %+v, want value 5000", ex)
+	}
+
+	// Last write wins within a bucket.
+	sp2 := tr.Begin("vmm.pagecopy")
+	h.ObserveExemplar(7, sp2.Context())
+	sp2.End()
+	if ex := h.Snapshot().Exemplars[0]; ex == nil || ex.Value != 7 || ex.SpanID != sp2.Context().SpanID {
+		t.Errorf("bucket 0 exemplar after second traced observation = %+v, want value 7", ex)
+	}
+}
+
+func TestHistogramExemplarUnsampledDropped(t *testing.T) {
+	h := NewHistogram([]int64{10})
+	h.ObserveExemplar(3, Context{SpanID: SpanID{1}, Sampled: false})
+	if ex := h.Snapshot().Exemplars[0]; ex != nil {
+		t.Errorf("unsampled context must not leave an exemplar, got %+v", ex)
+	}
+	if h.Snapshot().Count != 1 {
+		t.Error("the observation itself must still count")
+	}
+}
+
+func TestHistogramExemplarMerge(t *testing.T) {
+	tr := NewSeeded(9)
+	sp := tr.Begin("worker")
+	worker := NewHistogram([]int64{10})
+	worker.ObserveExemplar(4, sp.Context())
+	sp.End()
+
+	main := NewHistogram([]int64{10})
+	if err := main.Merge(worker); err != nil {
+		t.Fatal(err)
+	}
+	if ex := main.Snapshot().Exemplars[0]; ex == nil || ex.Value != 4 {
+		t.Errorf("merge should fill empty exemplar slots, got %+v", ex)
+	}
+}
+
+func TestWriteTextExemplars(t *testing.T) {
+	tr := NewSeeded(5)
+	m := NewMetrics()
+	sp := tr.Begin("vmm.pagecopy")
+	m.Histogram("vmm.pagecopy.ns", []int64{10, 100}).ObserveExemplar(42, sp.Context())
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# exemplar trace=" + sp.Context().TraceID.String() +
+		" span=" + sp.Context().SpanID.String() + " value=42"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("WriteText output missing exemplar annotation %q:\n%s", want, buf.String())
+	}
+}

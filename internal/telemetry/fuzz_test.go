@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzExtract hammers the traceparent parser with adversarial headers: it
+// must never panic, never accept an all-zero identity, and whatever it
+// does accept must survive an Inject/Extract round trip unchanged.
+func FuzzExtract(f *testing.F) {
+	tr := NewSeeded(1)
+	sp := tr.Begin("seed")
+	f.Add(sp.Context().Inject())
+	sp.End()
+	f.Add("")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	f.Add("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01") // wrong version
+	f.Add("00-00000000000000000000000000000000-0000000000000000-01") // all-zero ids
+	f.Add("00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01") // bad hex
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333-01")  // short span id
+	f.Add(strings.Repeat("-", 64))
+
+	f.Fuzz(func(t *testing.T, header string) {
+		ctx, err := Extract(header)
+		if err != nil {
+			if ctx != (Context{}) {
+				t.Fatalf("Extract(%q) errored but returned non-zero context %+v", header, ctx)
+			}
+			return
+		}
+		if header == "" {
+			if ctx != (Context{}) {
+				t.Fatalf("empty header must extract to the zero context, got %+v", ctx)
+			}
+			return
+		}
+		// Accepted non-empty headers carry a usable identity and are
+		// canonical: re-injecting reproduces a header Extract maps to the
+		// same context.
+		if ctx.TraceID.IsZero() || ctx.SpanID.IsZero() {
+			t.Fatalf("Extract(%q) accepted an unusable identity %+v", header, ctx)
+		}
+		again, err := Extract(ctx.Inject())
+		if err != nil || again != ctx {
+			t.Fatalf("round trip of %q changed the context: %+v -> %+v (err %v)", header, ctx, again, err)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanLinks(t *testing.T) {
+	tr := NewSeeded(7)
+	producer := tr.Begin("producer")
+	producer.End()
+
+	consumer := tr.Begin("consumer")
+	consumer.Link(producer.Context())
+	consumer.Link(Context{}) // zero context: ignored
+	consumer.End()
+
+	var nilSpan *Span
+	nilSpan.Link(producer.Context()) // must not panic
+
+	recs := tr.ByName("consumer")
+	if len(recs) != 1 {
+		t.Fatalf("want 1 consumer record, got %d", len(recs))
+	}
+	links := recs[0].Links
+	if len(links) != 1 {
+		t.Fatalf("want 1 link (zero context dropped), got %d", len(links))
+	}
+	if links[0].SpanID != producer.Context().SpanID {
+		t.Errorf("link points at %s, want %s", links[0].SpanID, producer.Context().SpanID)
+	}
+	if got := tr.ByName("producer")[0].Links; len(got) != 0 {
+		t.Errorf("producer should have no links, got %v", got)
+	}
+}
+
+// TestChromeTraceFlowEvents checks that a link renders as a matched
+// flow-start/flow-finish pair tying the producer's slice to the
+// consumer's.
+func TestChromeTraceFlowEvents(t *testing.T) {
+	tr := NewSeeded(11)
+	producer := tr.Begin("producer")
+	producer.End()
+	consumer := tr.Begin("consumer")
+	consumer.Link(producer.Context())
+	consumer.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			ID   string `json:"id"`
+			BP   string `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+	var start, finish int
+	var startID, finishID string
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			start++
+			startID = ev.ID
+		case "f":
+			finish++
+			finishID = ev.ID
+			if ev.BP != "e" {
+				t.Errorf("flow finish should bind to enclosing slice, bp=%q", ev.BP)
+			}
+		}
+	}
+	if start != 1 || finish != 1 {
+		t.Fatalf("want exactly one flow pair, got %d starts / %d finishes", start, finish)
+	}
+	if startID == "" || startID != finishID {
+		t.Errorf("flow ids must match: start %q finish %q", startID, finishID)
+	}
+	wantID := producer.Context().SpanID.String() + "-" + consumer.Context().SpanID.String()
+	if startID != wantID {
+		t.Errorf("flow id %q, want %q", startID, wantID)
+	}
+	// The consumer's slice also names the link in its args.
+	if !strings.Contains(buf.String(), `"link_0":"`+producer.Context().SpanID.String()+`"`) {
+		t.Error("consumer args should carry link_0 with the producer span id")
+	}
+}
+
+// TestLinksSurviveAdopt checks links ride WireTrace shipment unchanged.
+func TestLinksSurviveAdopt(t *testing.T) {
+	remote := NewSeeded(21)
+	peer := remote.Begin("peer")
+	peer.End()
+	sp := remote.Begin("shipped")
+	sp.Link(peer.Context())
+	sp.End()
+
+	local := NewSeeded(22)
+	local.Adopt(remote.ExportTrace(sp.Context().TraceID))
+	found := false
+	for _, r := range local.Completed() {
+		if r.Name == "shipped" {
+			found = true
+			if len(r.Links) != 1 || r.Links[0].SpanID != peer.Context().SpanID {
+				t.Errorf("adopted record lost its link: %+v", r.Links)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("shipped span not adopted")
+	}
+}

@@ -137,6 +137,17 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is overflow
 	sum    atomic.Int64
 	total  atomic.Int64
+	// exemplars holds, per bucket, the latest traced observation that
+	// landed there (ObserveExemplar; last-write-wins), so a reader of the
+	// p99 line can jump from the bucket to one concrete trace.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one bucketed observation to the trace it came from.
+type Exemplar struct {
+	Value   int64
+	TraceID TraceID
+	SpanID  SpanID
 }
 
 // NewHistogram builds a detached histogram (outside any registry) with the
@@ -145,7 +156,11 @@ type Histogram struct {
 func NewHistogram(bounds []int64) *Histogram {
 	b := append([]int64(nil), bounds...)
 	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe files one observation.
@@ -157,6 +172,23 @@ func (h *Histogram) Observe(v int64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.total.Add(1)
+}
+
+// ObserveExemplar files one observation and, when ctx names a sampled
+// span, stamps it as the bucket's exemplar — the concrete trace a reader
+// can open to see why that bucket was hit. An unsampled or zero context
+// degrades to Observe, so the hot path never pays for dropped traces.
+func (h *Histogram) ObserveExemplar(v int64, ctx Context) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+	if ctx.Sampled && !ctx.SpanID.IsZero() {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: ctx.TraceID, SpanID: ctx.SpanID})
+	}
 }
 
 // Merge folds o's observations into h. The bucket layouts must match.
@@ -175,6 +207,10 @@ func (h *Histogram) Merge(o *Histogram) error {
 	}
 	for i := range o.counts {
 		h.counts[i].Add(o.counts[i].Load())
+		// A merged-in exemplar fills buckets that have none locally.
+		if ex := o.exemplars[i].Load(); ex != nil {
+			h.exemplars[i].CompareAndSwap(nil, ex)
+		}
 	}
 	h.sum.Add(o.sum.Load())
 	h.total.Add(o.total.Load())
@@ -189,6 +225,9 @@ type HistogramSnapshot struct {
 	Counts []int64 // len(Bounds)+1; last is overflow
 	Sum    int64
 	Count  int64
+	// Exemplars has one entry per bucket; nil where no traced
+	// observation has landed in that bucket.
+	Exemplars []*Exemplar
 }
 
 // Snapshot copies the histogram's current contents.
@@ -197,13 +236,15 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		return HistogramSnapshot{}
 	}
 	s := HistogramSnapshot{
-		Bounds: append([]int64(nil), h.bounds...),
-		Counts: make([]int64, len(h.counts)),
-		Sum:    h.sum.Load(),
-		Count:  h.total.Load(),
+		Bounds:    append([]int64(nil), h.bounds...),
+		Counts:    make([]int64, len(h.counts)),
+		Sum:       h.sum.Load(),
+		Count:     h.total.Load(),
+		Exemplars: make([]*Exemplar, len(h.counts)),
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	return s
 }
@@ -247,15 +288,26 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			return err
 		}
 		for i, b := range s.Bounds {
-			if _, err := fmt.Fprintf(w, "  le %d: %d\n", b, s.Counts[i]); err != nil {
+			if _, err := fmt.Fprintf(w, "  le %d: %d%s\n", b, s.Counts[i], exemplarSuffix(s.Exemplars[i])); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "  le +inf: %d\n", s.Counts[len(s.Counts)-1]); err != nil {
+		last := len(s.Counts) - 1
+		if _, err := fmt.Fprintf(w, "  le +inf: %d%s\n", s.Counts[last], exemplarSuffix(s.Exemplars[last])); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// exemplarSuffix renders a bucket's exemplar for WriteText: the concrete
+// trace/span a reader can pull up to see one observation that landed in
+// the bucket (e.g. a p99 vmm.pagecopy chunk).
+func exemplarSuffix(ex *Exemplar) string {
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # exemplar trace=%s span=%s value=%d", ex.TraceID, ex.SpanID, ex.Value)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

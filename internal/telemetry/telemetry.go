@@ -71,6 +71,12 @@ type SpanRecord struct {
 	Start      time.Duration
 	Dur        time.Duration
 	Attrs      []Attr
+	// Links are the contexts of causally-related spans that are not this
+	// span's ancestors (Span.Link): the producer half of a channel
+	// handoff, the remote peer of an in-process transport. Exporters
+	// render them as flow arrows. New field; gob decodes older records
+	// without it to an empty slice, so WireTrace stays wire-compatible.
+	Links []Context
 }
 
 // Tracer collects spans. A nil *Tracer is the no-op tracer: Begin returns
@@ -311,6 +317,7 @@ type Span struct {
 
 	mu    sync.Mutex
 	attrs []Attr        // guarded by mu
+	links []Context     // guarded by mu
 	ended bool          // guarded by mu
 	dur   time.Duration // guarded by mu
 }
@@ -341,6 +348,20 @@ func (s *Span) Fork(name string, attrs ...Attr) *Span {
 		return nil
 	}
 	return s.tr.newChild(s, name, s.tr.tracks.Add(1), attrs)
+}
+
+// Link ties the span to another span that is causally related but not an
+// ancestor — the two halves of a channel handoff, the peer endpoint of an
+// in-process transport — so the trace viewer can draw a flow arrow
+// between rows that plain parent/child nesting cannot connect. Linking
+// the zero (untraced) context, or linking on a nil span, is a no-op.
+func (s *Span) Link(ctx Context) {
+	if s == nil || ctx.SpanID.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	s.links = append(s.links, ctx)
+	s.mu.Unlock()
 }
 
 // Annotate appends attributes to a running span.
@@ -408,5 +429,6 @@ func (s *Span) recordLocked() SpanRecord {
 		Start:      s.start.Sub(s.tr.epoch),
 		Dur:        s.dur,
 		Attrs:      append([]Attr(nil), s.attrs...),
+		Links:      append([]Context(nil), s.links...),
 	}
 }

@@ -206,8 +206,11 @@ var pageCopyBounds = telemetry.LogBounds(1000, 10_000_000) // 1µs .. 10ms
 var roundBytesBounds = telemetry.LogBounds(1<<16, 1<<28) // 64KiB .. 256MiB
 
 // send captures the given source pages in chunks and enqueues them. It blocks
-// only when the queue is full (the link is the bottleneck).
-func (s *chunkSender) send(src *GuestMemory, pages []int, chunk int, counter *int64) {
+// only when the queue is full (the link is the bottleneck). ctx is the
+// sending phase's trace context: each copy latency is recorded with it as
+// a bucket exemplar, so a surprising p99 in vmm.pagecopy.ns points at a
+// concrete bulk/pre-copy/stop-copy span to open.
+func (s *chunkSender) send(src *GuestMemory, pages []int, chunk int, counter *int64, ctx telemetry.Context) {
 	for off := 0; off < len(pages); off += chunk {
 		end := off + chunk
 		if end > len(pages) {
@@ -218,7 +221,7 @@ func (s *chunkSender) send(src *GuestMemory, pages []int, chunk int, counter *in
 		if s.copyHist != nil {
 			t0 := time.Now()
 			src.CopyPages(part, data)
-			s.copyHist.Observe(time.Since(t0).Nanoseconds())
+			s.copyHist.ObserveExemplar(time.Since(t0).Nanoseconds(), ctx)
 		} else {
 			src.CopyPages(part, data)
 		}
@@ -357,7 +360,7 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	round0 := vm.Mem.CollectDirty()
 	stats.RoundDirtyPages = append(stats.RoundDirtyPages, len(round0))
 	bulkSp := root.Child("vmm.bulk", telemetry.Int("pages", len(round0)))
-	snd.send(vm.Mem, round0, cfg.chunkPages(), &stats.BulkBytes)
+	snd.send(vm.Mem, round0, cfg.chunkPages(), &stats.BulkBytes, bulkSp.Context())
 	bulkSp.End()
 	roundHist.Observe(int64(len(round0)) * PageSize)
 
@@ -383,7 +386,7 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 		converged := len(dirty) <= cfg.threshold() || round >= cfg.maxRounds()
 		roundSp := root.Child("vmm.precopy.round",
 			telemetry.Int("round", round), telemetry.Int("pages", len(dirty)))
-		snd.send(vm.Mem, dirty, cfg.chunkPages(), &stats.PreCopyBytes)
+		snd.send(vm.Mem, dirty, cfg.chunkPages(), &stats.PreCopyBytes, roundSp.Context())
 		roundSp.End()
 		roundHist.Observe(int64(len(dirty)) * PageSize)
 		if !converged {
@@ -426,7 +429,7 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	final := vm.Mem.CollectDirty()
 	stats.RoundDirtyPages = append(stats.RoundDirtyPages, len(final))
 	scSp := downSp.Child("vmm.stopcopy", telemetry.Int("pages", len(final)))
-	snd.send(vm.Mem, final, cfg.chunkPages(), &stats.StopCopyBytes)
+	snd.send(vm.Mem, final, cfg.chunkPages(), &stats.StopCopyBytes, scSp.Context())
 	snd.drain()
 	l.transfer(64 * 1024) // device state
 	stats.StopCopyBytes += 64 * 1024
@@ -537,6 +540,10 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 			// the target installs it and rebuilds. Release blocks on the
 			// target's MsgDone, so the two halves run concurrently.
 			cSp := commitAll.Child("vmm.enclave.commit", telemetry.String("enclave", m.p.Name))
+			// The commit consumes the session the channel-setup span built
+			// on its own forked track; the link draws that handoff as a
+			// flow arrow in the merged trace.
+			cSp.Link(m.sp.Context())
 			relDone := make(chan error, 1)
 			go func(m *encMigration) {
 				_, err := m.ps.Release()
