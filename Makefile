@@ -39,12 +39,14 @@ test:
 	$(GO) test ./...
 
 # Short coverage-guided runs of the native fuzz targets over the
-# untrusted-input parsers (traceparent headers, MsgImage blobs). CI runs
-# this budget on every push; longer local runs just raise -fuzztime.
+# untrusted-input parsers (traceparent headers, MsgImage blobs, page
+# frames). CI runs this budget on every push; longer local runs just
+# raise -fuzztime.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/telemetry/ -run='^$$' -fuzz=FuzzExtract -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/ -run='^$$' -fuzz=FuzzParseImageBlob -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/ -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME)
 
 race:
 	$(GO) test -race ./...

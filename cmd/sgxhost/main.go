@@ -197,15 +197,17 @@ func builtinImages(owner *core.Owner) []*enclave.App {
 
 func (s *server) serve(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	// One gob stream per connection, shared with the migration transport:
+	// the transport's binary bulk frames and the handshake's gob messages
+	// interleave on the same buffered reader (see core.NewConnStream).
+	enc, dec, ts := core.NewConnStream(conn)
 	var cmd hostproto.Command
 	if err := dec.Decode(&cmd); err != nil {
 		return
 	}
 	switch cmd.Op {
 	case hostproto.OpMigrateIn:
-		s.handleMigrateIn(conn, dec, enc, cmd)
+		s.handleMigrateIn(ts, dec, enc, cmd)
 	default:
 		resp := s.handle(cmd)
 		_ = enc.Encode(resp)
@@ -318,8 +320,7 @@ func (s *server) migrateOut(cmd hostproto.Command, sp *telemetry.Span) hostproto
 		return hostproto.Response{Err: err.Error()}
 	}
 	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
+	enc, dec, ts := core.NewConnStream(conn)
 	if err := enc.Encode(hostproto.Command{
 		Op:          hostproto.OpMigrateIn,
 		ID:          cmd.ID,
@@ -339,10 +340,10 @@ func (s *server) migrateOut(cmd hostproto.Command, sp *telemetry.Span) hostproto
 	s.service.RegisterMachine(peer.Key)
 
 	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met}
-	// Reuse the handshake's gob stream for the migration messages: a second
-	// decoder on the same conn would lose buffered bytes, and the trailing
-	// TraceShipment must arrive on the stream the handshake owns.
-	rep, err := core.MigrateOut(rt, core.NewGobTransport(conn, enc, dec), opts)
+	// The handshake, the migration messages, and the trailing TraceShipment
+	// all ride the one stream NewConnStream owns: a second decoder on the
+	// same conn would lose buffered bytes.
+	rep, err := core.MigrateOut(rt, ts, opts)
 	s.recvTraceShipment(conn, dec, sp, err)
 	if err != nil {
 		s.met.Counter("host.migrations.failed").Inc()
@@ -379,8 +380,9 @@ func (s *server) recvTraceShipment(conn net.Conn, dec *gob.Decoder, sp *telemetr
 	s.tr.Adopt(ship.Trace)
 }
 
-// handleMigrateIn accepts an inbound migration on this connection.
-func (s *server) handleMigrateIn(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, cmd hostproto.Command) {
+// handleMigrateIn accepts an inbound migration on this connection. ts is
+// the connection's shared-stream transport from core.NewConnStream.
+func (s *server) handleMigrateIn(ts core.Transport, dec *gob.Decoder, enc *gob.Encoder, cmd hostproto.Command) {
 	s.met.Counter("host.ops." + string(cmd.Op)).Inc()
 	ctx := traceContext(cmd)
 	sp := s.tr.BeginRemote("host.migratein", ctx, telemetry.String("enclave", cmd.ID))
@@ -395,7 +397,7 @@ func (s *server) handleMigrateIn(conn net.Conn, dec *gob.Decoder, enc *gob.Encod
 		return
 	}
 	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met}
-	inc, err := core.MigrateIn(s.host, s.registry, core.NewGobTransport(conn, enc, dec), opts)
+	inc, err := core.MigrateIn(s.host, s.registry, ts, opts)
 	if err != nil {
 		sp.Fail(err)
 		s.shipTrace(enc, ctx)

@@ -68,5 +68,33 @@ func (f *FaultyTransport) Recv() (Message, error) {
 	return f.inner.Recv()
 }
 
+// SendFrame implements FrameTransport when the wrapped transport does;
+// frame sends count as operations like any other. On a non-frame inner
+// transport it fails cleanly, which senders treat like a torn link.
+func (f *FaultyTransport) SendFrame(pf *PageFrame) error {
+	if f.trip() {
+		pf.Release()
+		return ErrInjectedFault
+	}
+	ft, ok := f.inner.(FrameTransport)
+	if !ok {
+		pf.Release()
+		return errors.New("core: inner transport does not frame")
+	}
+	return ft.SendFrame(pf)
+}
+
+// RecvFrame implements FrameTransport when the wrapped transport does.
+func (f *FaultyTransport) RecvFrame() (*PageFrame, error) {
+	if f.trip() {
+		return nil, ErrInjectedFault
+	}
+	ft, ok := f.inner.(FrameTransport)
+	if !ok {
+		return nil, errors.New("core: inner transport does not frame")
+	}
+	return ft.RecvFrame()
+}
+
 // Close implements Transport.
 func (f *FaultyTransport) Close() error { return f.inner.Close() }

@@ -347,7 +347,7 @@ func migrateOutChannel(src *enclave.Runtime, blob []byte, t Transport, opts *Opt
 	wireSp := sp.Child("core.wire", telemetry.Int("checkpoint_bytes", len(blob)))
 	err = t.Send(Message{Kind: MsgImage, Name: src.App().Name, Blob: imageBlob(src.App().Name, mr, src.Layout().Threads)})
 	if err == nil {
-		err = t.Send(Message{Kind: MsgCheckpoint, Blob: blob})
+		err = sendBulk(t, Message{Kind: MsgCheckpoint, Blob: blob})
 	}
 	wireSp.Fail(err)
 	if err != nil {
@@ -488,6 +488,72 @@ func sourceChannel(src *enclave.Runtime, service *attest.Service, hello []byte) 
 	return src.ReadShared(enclave.SharedReqOff, res[0])
 }
 
+// bulkSegment is the FrameBlob segment size for announced bulk payloads.
+const bulkSegment = 256 << 10
+
+// maxBulkFrames bounds how many frames a bulk announcement may claim
+// before the receiver starts reading them (1 GiB at bulkSegment).
+const maxBulkFrames = 4096
+
+// sendBulk ships m over t. On a FrameTransport a non-empty payload leaves
+// Blob and follows the (now small, gob-encoded) control message as
+// Message.Frames binary FrameBlob segments — the gob-for-control /
+// binary-for-bulk split. On plain transports it rides inline as before.
+func sendBulk(t Transport, m Message) error {
+	ft, ok := t.(FrameTransport)
+	if !ok || len(m.Blob) == 0 {
+		return t.Send(m)
+	}
+	blob := m.Blob
+	m.Blob = nil
+	m.Frames = uint32((len(blob) + bulkSegment - 1) / bulkSegment)
+	if err := t.Send(m); err != nil {
+		return err
+	}
+	for off := 0; off < len(blob); off += bulkSegment {
+		end := off + bulkSegment
+		if end > len(blob) {
+			end = len(blob)
+		}
+		if err := ft.SendFrame(&PageFrame{Kind: FrameBlob, Data: blob[off:end]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvBulk receives a message sent with sendBulk, reassembling a framed
+// payload when the message announces one.
+func recvBulk(t Transport, want MsgKind) (Message, error) {
+	m, err := recvKind(t, want)
+	if err != nil || m.Frames == 0 {
+		return m, err
+	}
+	ft, ok := t.(FrameTransport)
+	if !ok {
+		return Message{}, fmt.Errorf("%w: message %d announces %d bulk frames on a non-frame transport", ErrProtocol, m.Kind, m.Frames)
+	}
+	if m.Frames > maxBulkFrames {
+		return Message{}, fmt.Errorf("%w: message %d announces %d bulk frames, cap is %d", ErrProtocol, m.Kind, m.Frames, maxBulkFrames)
+	}
+	blob := make([]byte, 0, bulkSegment)
+	for i := uint32(0); i < m.Frames; i++ {
+		f, err := ft.RecvFrame()
+		if err != nil {
+			return Message{}, err
+		}
+		if f.Kind != FrameBlob {
+			f.Release()
+			return Message{}, fmt.Errorf("%w: %s frame inside a bulk payload", ErrProtocol, f.Kind)
+		}
+		blob = append(blob, f.Data...)
+		f.Release()
+	}
+	m.Blob = blob
+	m.Frames = 0
+	return m, nil
+}
+
 func recvKind(t Transport, want MsgKind) (Message, error) {
 	m, err := t.Recv()
 	if err != nil {
@@ -578,7 +644,7 @@ func MigrateInPrepare(host *enclave.Host, reg *Registry, t Transport, opts *Opti
 		return nil, ErrUnknownImage
 	}
 
-	ckptMsg, err := recvKind(t, MsgCheckpoint)
+	ckptMsg, err := recvBulk(t, MsgCheckpoint)
 	if err != nil {
 		return nil, err
 	}

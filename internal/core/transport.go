@@ -1,12 +1,14 @@
 package core
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,37 +29,64 @@ const (
 
 // Message is one migration protocol message. Structured payloads use the
 // fixed wire codecs from the enclave package inside Blob.
+//
+// Frames, when nonzero, announces that the message's bulk payload follows
+// as that many binary FrameBlob frames instead of riding inline in Blob —
+// the gob-for-control / binary-for-bulk split. Senders set it only on
+// transports implementing FrameTransport.
 type Message struct {
-	Kind MsgKind
-	Name string
-	Blob []byte
+	Kind   MsgKind
+	Name   string
+	Blob   []byte
+	Frames uint32
 }
 
 // Transport carries protocol messages between the source and target
 // migration managers. Implementations: in-process pipes (NewPipe), TCP
-// (NewConnTransport), and the bandwidth-shaped transports used by the VM
-// migration engine.
+// (NewConnTransport/NewConnStream), and the bandwidth-shaped transports
+// used by the VM migration engine.
 type Transport interface {
 	Send(Message) error
 	Recv() (Message, error)
 	Close() error
 }
 
+// FrameTransport is a Transport that additionally speaks the binary bulk
+// codec (wirecodec.go). Control messages stay gob; page chunks and large
+// blobs ride length-prefixed frames on the same ordered stream.
+//
+// SendFrame takes ownership of the frame: the implementation releases its
+// pooled buffer and the caller must not touch the frame (or anything
+// aliasing its Data) afterwards. RecvFrame returns a frame the caller
+// must Release.
+type FrameTransport interface {
+	Transport
+	SendFrame(*PageFrame) error
+	RecvFrame() (*PageFrame, error)
+}
+
 // ErrTransportClosed is returned after Close.
 var ErrTransportClosed = errors.New("core: transport closed")
 
+// pipeItem is one unit on an in-process pipe: either a control message or
+// an encoded bulk frame. A single channel keeps the two in FIFO order,
+// exactly like the byte stream of a real socket.
+type pipeItem struct {
+	msg   Message
+	frame []byte // encoded bulk frame; nil for control messages
+}
+
 // pipe is an in-process transport half.
 type pipe struct {
-	out chan<- Message
-	in  <-chan Message
+	out chan<- pipeItem
+	in  <-chan pipeItem
 
 	closeOnce *sync.Once
 	closed    chan struct{}
 
 	delay     time.Duration // simulated one-way latency
 	byteNanos float64       // simulated nanoseconds per byte (bandwidth)
-	sent      *int64        // guarded by sentMu
-	sentMu    *sync.Mutex
+	sent      *atomic.Int64
 }
 
 // NewPipe creates a connected pair of in-process transports.
@@ -67,12 +96,12 @@ func NewPipe() (Transport, Transport) {
 
 // NewShapedPipe creates an in-process transport pair with a simulated
 // one-way latency and bandwidth (bytes/second; 0 = infinite). It lets the
-// Fig. 10 experiments reproduce network-bound shapes on any host.
+// Fig. 10 experiments reproduce network-bound shapes on any host. Both
+// halves implement FrameTransport and ByteCounter.
 func NewShapedPipe(latency time.Duration, bytesPerSecond float64) (Transport, Transport) {
-	ab := make(chan Message, 16)
-	ba := make(chan Message, 16)
-	var sentA, sentB int64
-	var muA, muB sync.Mutex
+	ab := make(chan pipeItem, 16)
+	ba := make(chan pipeItem, 16)
+	var sentA, sentB atomic.Int64
 	var byteNanos float64
 	if bytesPerSecond > 0 {
 		byteNanos = 1e9 / bytesPerSecond
@@ -81,26 +110,66 @@ func NewShapedPipe(latency time.Duration, bytesPerSecond float64) (Transport, Tr
 	// connection for both, like a real socket.
 	closed := make(chan struct{})
 	var once sync.Once
-	a := &pipe{out: ab, in: ba, closeOnce: &once, closed: closed, delay: latency, byteNanos: byteNanos, sent: &sentA, sentMu: &muA}
-	b := &pipe{out: ba, in: ab, closeOnce: &once, closed: closed, delay: latency, byteNanos: byteNanos, sent: &sentB, sentMu: &muB}
+	a := &pipe{out: ab, in: ba, closeOnce: &once, closed: closed, delay: latency, byteNanos: byteNanos, sent: &sentA}
+	b := &pipe{out: ba, in: ab, closeOnce: &once, closed: closed, delay: latency, byteNanos: byteNanos, sent: &sentB}
 	return a, b
 }
 
-// Send implements Transport with transfer-time shaping.
-func (p *pipe) Send(m Message) error {
-	if p.byteNanos > 0 {
-		time.Sleep(time.Duration(p.byteNanos * float64(len(m.Blob)+64)))
+// shape simulates the transfer time of n bytes. It returns
+// ErrTransportClosed as soon as either end closes — an abort must not
+// stall behind the simulated transfer of data nobody will receive.
+func (p *pipe) shape(n int) error {
+	d := p.delay + time.Duration(p.byteNanos*float64(n))
+	if d <= 0 {
+		select {
+		case <-p.closed:
+			return ErrTransportClosed
+		default:
+			return nil
+		}
 	}
-	if p.delay > 0 {
-		time.Sleep(p.delay)
-	}
-	p.sentMu.Lock()
-	*p.sent += int64(len(m.Blob) + 64)
-	p.sentMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
 	select {
-	case p.out <- m:
+	case <-t.C:
 		return nil
 	case <-p.closed:
+		return ErrTransportClosed
+	}
+}
+
+// Send implements Transport with transfer-time shaping. Bytes count only
+// for messages actually enqueued.
+func (p *pipe) Send(m Message) error {
+	n := len(m.Blob) + 64 // gob framing estimate for control messages
+	if err := p.shape(n); err != nil {
+		return err
+	}
+	select {
+	case p.out <- pipeItem{msg: m}:
+		p.sent.Add(int64(n))
+		return nil
+	case <-p.closed:
+		return ErrTransportClosed
+	}
+}
+
+// SendFrame implements FrameTransport. The frame is encoded with the real
+// binary codec, so shaping and byte accounting see exact wire sizes.
+func (p *pipe) SendFrame(f *PageFrame) error {
+	buf := GetBuf(encodedFrameSize(f))[:0]
+	buf = AppendFrame(buf, f)
+	f.Release()
+	if err := p.shape(len(buf)); err != nil {
+		PutBuf(buf)
+		return err
+	}
+	select {
+	case p.out <- pipeItem{frame: buf}:
+		p.sent.Add(int64(len(buf)))
+		return nil
+	case <-p.closed:
+		PutBuf(buf)
 		return ErrTransportClosed
 	}
 }
@@ -108,13 +177,36 @@ func (p *pipe) Send(m Message) error {
 // Recv implements Transport.
 func (p *pipe) Recv() (Message, error) {
 	select {
-	case m, ok := <-p.in:
-		if !ok {
-			return Message{}, ErrTransportClosed
+	case it := <-p.in:
+		if it.frame != nil {
+			PutBuf(it.frame)
+			return Message{}, errors.New("core: recv: bulk frame arrived where a message was expected")
 		}
-		return m, nil
+		return it.msg, nil
 	case <-p.closed:
 		return Message{}, ErrTransportClosed
+	}
+}
+
+// RecvFrame implements FrameTransport.
+func (p *pipe) RecvFrame() (*PageFrame, error) {
+	select {
+	case it := <-p.in:
+		if it.frame == nil {
+			return nil, fmt.Errorf("core: recv: message %d arrived where a bulk frame was expected", it.msg.Kind)
+		}
+		f, n, err := DecodeFrame(it.frame)
+		if err != nil || n != len(it.frame) {
+			PutBuf(it.frame)
+			if err == nil {
+				err = errors.New("core: trailing bytes after bulk frame")
+			}
+			return nil, err
+		}
+		f.buf = it.frame
+		return f, nil
+	case <-p.closed:
+		return nil, ErrTransportClosed
 	}
 }
 
@@ -125,52 +217,89 @@ func (p *pipe) Close() error {
 	return nil
 }
 
-// BytesSent reports how many payload bytes this half has sent.
-func (p *pipe) BytesSent() int64 {
-	p.sentMu.Lock()
-	defer p.sentMu.Unlock()
-	return *p.sent
-}
+// BytesSent reports how many wire bytes this half has sent.
+func (p *pipe) BytesSent() int64 { return p.sent.Load() }
 
 // ByteCounter is implemented by transports that track transferred bytes.
 type ByteCounter interface {
 	BytesSent() int64
 }
 
-// connTransport is a gob-encoded Transport over a net.Conn (used by the
-// sgxhost/sgxmigrate tools).
+// countingWriter counts the bytes actually written to the connection, so
+// BytesSent reports real framed sizes (gob descriptors included) instead
+// of a per-message overhead guess, and failed sends inflate nothing.
+type countingWriter struct {
+	w io.Writer
+	n atomic.Int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+// connTransport is a Transport over a net.Conn: gob for control messages,
+// the binary bulk codec for frames, both on one ordered stream (used by
+// the sgxhost/sgxmigrate tools).
 type connTransport struct {
 	conn net.Conn
+	cw   *countingWriter
+	br   *bufio.Reader
 	enc  *gob.Encoder
 	dec  *gob.Decoder
-	wmu  sync.Mutex
-	sent int64 // guarded by wmu
+	wmu  sync.Mutex // serializes enc and frame writes
+}
+
+// NewConnStream wraps a network connection as a FrameTransport and
+// returns the gob encoder/decoder pair that shares its stream. Callers
+// with their own handshake traffic (the sgxhost hostproto.Command +
+// MachineKey exchange, the trailing TraceShipment) must use this pair:
+// gob.NewDecoder buffers reads internally, so layering a second decoder
+// on the same conn would lose whatever bytes the first one read ahead.
+// Here the decoder reads through a shared bufio.Reader (gob consumes
+// exactly its length-prefixed messages from an io.ByteReader), which is
+// also what RecvFrame reads — gob messages and binary bulk frames
+// interleave safely on the one TCP stream.
+func NewConnStream(conn net.Conn) (*gob.Encoder, *gob.Decoder, Transport) {
+	cw := &countingWriter{w: conn}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	t := &connTransport{
+		conn: conn,
+		cw:   cw,
+		br:   br,
+		enc:  gob.NewEncoder(cw),
+		dec:  gob.NewDecoder(br),
+	}
+	return t.enc, t.dec, t
 }
 
 // NewConnTransport wraps a network connection as a Transport.
 func NewConnTransport(conn net.Conn) Transport {
-	return &connTransport{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	_, _, t := NewConnStream(conn)
+	return t
 }
 
-// NewGobTransport wraps a connection as a Transport reusing an existing
-// encoder/decoder pair. The sgxhost handshake (hostproto.Command +
-// MachineKey exchange) already owns a gob stream on the connection, and
-// gob.NewDecoder buffers reads internally — layering a second decoder on
-// the same conn would lose whatever bytes the first one read ahead. The
-// handshake therefore hands its pair down so handshake messages, core
-// migration messages, and the trailing hostproto.TraceShipment all ride
-// one stream.
-func NewGobTransport(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder) Transport {
-	return &connTransport{conn: conn, enc: enc, dec: dec}
-}
-
-// Send implements Transport.
+// Send implements Transport. Wire bytes are counted by the counting
+// writer as they hit the connection, so a failed encode counts only what
+// was actually written.
 func (c *connTransport) Send(m Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	c.sent += int64(len(m.Blob) + 64)
 	if err := c.enc.Encode(m); err != nil {
 		return fmt.Errorf("core: send: %w", err)
+	}
+	return nil
+}
+
+// SendFrame implements FrameTransport.
+func (c *connTransport) SendFrame(f *PageFrame) error {
+	c.wmu.Lock()
+	err := WriteFrame(c.cw, f)
+	c.wmu.Unlock()
+	f.Release()
+	if err != nil {
+		return fmt.Errorf("core: send frame: %w", err)
 	}
 	return nil
 }
@@ -187,12 +316,20 @@ func (c *connTransport) Recv() (Message, error) {
 	return m, nil
 }
 
+// RecvFrame implements FrameTransport.
+func (c *connTransport) RecvFrame() (*PageFrame, error) {
+	f, err := ReadFrame(c.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrTransportClosed
+		}
+		return nil, fmt.Errorf("core: recv frame: %w", err)
+	}
+	return f, nil
+}
+
 // Close implements Transport.
 func (c *connTransport) Close() error { return c.conn.Close() }
 
 // BytesSent implements ByteCounter.
-func (c *connTransport) BytesSent() int64 {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return c.sent
-}
+func (c *connTransport) BytesSent() int64 { return c.cw.n.Load() }

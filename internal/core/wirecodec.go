@@ -1,0 +1,483 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Binary wire codec for the bulk page path.
+//
+// Gob stays on the control plane (MsgImage, MsgHello, the key exchange —
+// anything that is one small struct per migration), but the page stream
+// moves millions of 4 KiB payloads, and gob's per-value reflection plus
+// its type-descriptor preamble is pure overhead there. Bulk data instead
+// rides length-prefixed binary frames:
+//
+//	u32 LE body-len | u8 kind | uvarint npages | uvarint page gaps
+//	                | [npages × uvarint delta sizes]   (FrameDelta only)
+//	                | data
+//
+// Page numbers are strictly ascending (CollectDirty order), so after the
+// first absolute number each page is encoded as the gap to its
+// predecessor — one or two bytes for typical dirty clusters. The body
+// length lets a reader skip or bound a frame before parsing it; decode
+// enforces maxFrameBody/maxFramePages so truncated or hostile prefixes
+// fail instead of over-allocating.
+
+// PageSize is the guest page granularity the bulk codec frames. It must
+// match vmm.PageSize; the codec owns its own constant because core cannot
+// import vmm.
+const PageSize = 4096
+
+// FrameKind labels bulk wire frames.
+type FrameKind uint8
+
+// Bulk frame kinds.
+const (
+	FrameRaw   FrameKind = iota + 1 // full pages: npages × PageSize bytes
+	FrameDelta                      // XOR+RLE deltas vs the previous round's content
+	FrameGob                        // gob-encoded page chunk (A5 baseline codec)
+	FrameBlob                       // opaque bulk segment (checkpoint, device state)
+	FrameEnd                        // stream terminator, no payload
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case FrameRaw:
+		return "raw"
+	case FrameDelta:
+		return "delta"
+	case FrameGob:
+		return "gob"
+	case FrameBlob:
+		return "blob"
+	case FrameEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("FrameKind(%d)", uint8(k))
+	}
+}
+
+// Decode bounds. A frame body is at most one chunk of pages plus headers
+// (the vmm pipeline frames 64-page chunks; blob segments are 256 KiB), so
+// 16 MiB is generous without letting a hostile length prefix allocate
+// arbitrarily.
+const (
+	maxFrameBody  = 16 << 20
+	maxFramePages = 1 << 16
+)
+
+// ErrFrameTruncated is returned when a buffer ends before the frame its
+// length prefix promises.
+var ErrFrameTruncated = errors.New("core: truncated frame")
+
+// PageFrame is one decoded bulk frame.
+//
+// FrameRaw:   Pages lists the page numbers, Data holds len(Pages)×PageSize
+//
+//	bytes in the same order; Sizes is nil.
+//
+// FrameDelta: Sizes[i] is the byte length of page Pages[i]'s XOR+RLE delta
+//
+//	inside Data (deltas are concatenated in page order).
+//
+// FrameGob:   Data is a gob-encoded page chunk; Pages/Sizes are nil.
+// FrameBlob:  Data is an opaque segment; Pages/Sizes are nil.
+// FrameEnd:   everything empty.
+type PageFrame struct {
+	Kind  FrameKind
+	Pages []int
+	Sizes []int
+	Data  []byte
+
+	buf []byte // pooled backing buffer, returned by Release
+}
+
+// Release returns the frame's pooled backing buffer, if any. Data (and
+// anything aliasing it) must not be touched afterwards. Safe on nil and on
+// frames that do not own a pooled buffer.
+func (f *PageFrame) Release() {
+	if f == nil || f.buf == nil {
+		return
+	}
+	PutBuf(f.buf)
+	f.buf = nil
+	f.Data = nil
+}
+
+// bufPool recycles bulk-path byte buffers (page chunks, encoded frames,
+// delta scratch). Buffers are pooled at whatever capacity they grew to;
+// GetBuf re-slices to the requested length when capacity suffices and
+// allocates otherwise.
+var bufPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+// GetBuf returns a length-n byte buffer from the pool. Pair every GetBuf
+// with a PutBuf (directly or via PageFrame.Release) once the buffer is no
+// longer referenced.
+func GetBuf(n int) []byte {
+	b := bufPool.Get().([]byte)
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bufPool.Put(b[:0:cap(b)]) //nolint:staticcheck // []byte in an any-pool allocates a header; acceptable vs 256 KiB payloads
+}
+
+// NewRawFrame returns a FrameRaw frame for the given (strictly ascending)
+// page numbers with a pooled, zero-copy Data buffer of the right size:
+// callers fill f.Data (e.g. GuestMemory.CopyPages) and hand the frame to
+// SendFrame, which releases the buffer.
+func NewRawFrame(pages []int) *PageFrame {
+	data := GetBuf(len(pages) * PageSize)
+	return &PageFrame{Kind: FrameRaw, Pages: pages, Data: data, buf: data}
+}
+
+// DeltaCache holds the last content this side shipped for each page, the
+// baseline XOR deltas are computed against. A page absent from the cache
+// uses the implicit zero page — target guest memory starts zeroed, so the
+// mostly-zero pages of the bulk round compress too.
+type DeltaCache map[int][]byte
+
+// EncodeChunk turns one chunk of captured pages into wire frames: pages
+// whose XOR+RLE delta against the cache baseline is smaller than the raw
+// page go into a FrameDelta, the rest into a FrameRaw (either may be nil
+// when empty). data holds len(pages)×PageSize captured bytes in page
+// order; EncodeChunk takes ownership and returns it to the pool. The
+// cache is updated to the captured content, so it always mirrors what the
+// peer holds after applying the frames in FIFO order. saved is the
+// logical-minus-wire payload byte reduction the deltas achieved.
+func EncodeChunk(pages []int, data []byte, cache DeltaCache) (raw, delta *PageFrame, saved int64) {
+	n := len(pages)
+	rawPages := make([]int, 0, n)
+	rawData := GetBuf(n * PageSize)
+	rawLen := 0
+	deltaPages := make([]int, 0, n)
+	deltaSizes := make([]int, 0, n)
+	// Two pages of slack: the encoder may append one oversized record past
+	// a page's give-up limit before noticing, and an in-place append that
+	// outgrew the buffer would silently reallocate away from it.
+	deltaData := GetBuf((n + 2) * PageSize)
+	deltaLen := 0
+	for i, p := range pages {
+		cur := data[i*PageSize : (i+1)*PageSize]
+		old := cache[p] // nil = zero baseline
+		if out := XORDeltaEncode(deltaData[:deltaLen], old, cur); out != nil {
+			sz := len(out) - deltaLen
+			deltaLen = len(out)
+			deltaPages = append(deltaPages, p)
+			deltaSizes = append(deltaSizes, sz)
+			saved += int64(PageSize - sz)
+		} else {
+			copy(rawData[rawLen:], cur)
+			rawLen += PageSize
+			rawPages = append(rawPages, p)
+		}
+		if old == nil {
+			cache[p] = append(make([]byte, 0, PageSize), cur...)
+		} else {
+			copy(old, cur)
+		}
+	}
+	PutBuf(data)
+	if len(rawPages) > 0 {
+		raw = &PageFrame{Kind: FrameRaw, Pages: rawPages, Data: rawData[:rawLen], buf: rawData}
+	} else {
+		PutBuf(rawData)
+	}
+	if len(deltaPages) > 0 {
+		delta = &PageFrame{Kind: FrameDelta, Pages: deltaPages, Sizes: deltaSizes, Data: deltaData[:deltaLen], buf: deltaData}
+	} else {
+		PutBuf(deltaData)
+	}
+	return raw, delta, saved
+}
+
+// encodedFrameSize returns an upper bound on AppendFrame's output for f,
+// so callers can size a pooled buffer that will not reallocate.
+func encodedFrameSize(f *PageFrame) int {
+	// 4 length + 1 kind + uvarints (≤ 10 bytes each): npages, one gap per
+	// page, one size per page (delta only).
+	return 5 + 10 + 20*len(f.Pages) + len(f.Data)
+}
+
+// AppendFrame appends the encoded frame to dst and returns the extended
+// slice. Page numbers must be strictly ascending; FrameDelta frames must
+// carry one size per page summing to len(Data).
+func AppendFrame(dst []byte, f *PageFrame) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	dst = append(dst, byte(f.Kind))
+	dst = binary.AppendUvarint(dst, uint64(len(f.Pages)))
+	prev := 0
+	for i, p := range f.Pages {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(p))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(p-prev))
+		}
+		prev = p
+	}
+	if f.Kind == FrameDelta {
+		for _, s := range f.Sizes {
+			dst = binary.AppendUvarint(dst, uint64(s))
+		}
+	}
+	dst = append(dst, f.Data...)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// decodeFrameBody parses one frame body (everything after the length
+// prefix). Pages, Sizes, and Data alias body.
+func decodeFrameBody(body []byte) (*PageFrame, error) {
+	if len(body) < 1 {
+		return nil, ErrFrameTruncated
+	}
+	f := &PageFrame{Kind: FrameKind(body[0])}
+	switch f.Kind {
+	case FrameRaw, FrameDelta, FrameGob, FrameBlob, FrameEnd:
+	default:
+		return nil, fmt.Errorf("core: unknown frame kind %d", body[0])
+	}
+	rest := body[1:]
+	npages, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, ErrFrameTruncated
+	}
+	rest = rest[n:]
+	if npages > maxFramePages {
+		return nil, fmt.Errorf("core: frame claims %d pages, cap is %d", npages, maxFramePages)
+	}
+	if npages > 0 {
+		if f.Kind != FrameRaw && f.Kind != FrameDelta {
+			return nil, fmt.Errorf("core: %s frame carries page numbers", f.Kind)
+		}
+		f.Pages = make([]int, npages)
+		prev := uint64(0)
+		for i := range f.Pages {
+			v, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, ErrFrameTruncated
+			}
+			rest = rest[n:]
+			if i > 0 {
+				if v == 0 {
+					return nil, errors.New("core: frame pages not strictly ascending")
+				}
+				if v > maxFrameBody {
+					// Bounds the gap before adding so a 2^64-wrapping gap
+					// cannot smuggle in a descending page number.
+					return nil, fmt.Errorf("core: frame page gap %d out of range", v)
+				}
+				v += prev
+			}
+			if v > maxFrameBody { // page numbers bound guest memory, not frame size, but reuse the cap
+				return nil, fmt.Errorf("core: frame page number %d out of range", v)
+			}
+			f.Pages[i] = int(v)
+			prev = v
+		}
+	}
+	switch f.Kind {
+	case FrameRaw:
+		if len(rest) != len(f.Pages)*PageSize {
+			return nil, fmt.Errorf("core: raw frame has %d data bytes for %d pages", len(rest), len(f.Pages))
+		}
+	case FrameDelta:
+		f.Sizes = make([]int, len(f.Pages))
+		total := 0
+		for i := range f.Sizes {
+			v, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, ErrFrameTruncated
+			}
+			rest = rest[n:]
+			if v > PageSize {
+				return nil, fmt.Errorf("core: delta size %d exceeds page size", v)
+			}
+			f.Sizes[i] = int(v)
+			total += int(v)
+		}
+		if len(rest) != total {
+			return nil, fmt.Errorf("core: delta frame has %d data bytes, sizes sum to %d", len(rest), total)
+		}
+	case FrameGob, FrameBlob:
+	case FrameEnd:
+		if len(rest) != 0 {
+			return nil, errors.New("core: end frame carries payload")
+		}
+	}
+	f.Data = rest
+	return f, nil
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame
+// and the number of bytes consumed. The frame's Data aliases b.
+func DecodeFrame(b []byte) (*PageFrame, int, error) {
+	if len(b) < 4 {
+		return nil, 0, ErrFrameTruncated
+	}
+	bodyLen := binary.LittleEndian.Uint32(b)
+	if bodyLen > maxFrameBody {
+		return nil, 0, fmt.Errorf("core: frame body %d exceeds cap %d", bodyLen, maxFrameBody)
+	}
+	if len(b) < 4+int(bodyLen) {
+		return nil, 0, ErrFrameTruncated
+	}
+	f, err := decodeFrameBody(b[4 : 4+bodyLen])
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, 4 + int(bodyLen), nil
+}
+
+// WriteFrame encodes f to w in a single Write (one pooled buffer, one
+// syscall on a net.Conn).
+func WriteFrame(w io.Writer, f *PageFrame) error {
+	buf := GetBuf(encodedFrameSize(f))[:0]
+	buf = AppendFrame(buf, f)
+	_, err := w.Write(buf)
+	PutBuf(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r. The returned frame's Data aliases a
+// pooled buffer; the caller must Release it when done.
+func ReadFrame(r io.Reader) (*PageFrame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	bodyLen := binary.LittleEndian.Uint32(hdr[:])
+	if bodyLen > maxFrameBody {
+		return nil, fmt.Errorf("core: frame body %d exceeds cap %d", bodyLen, maxFrameBody)
+	}
+	buf := GetBuf(int(bodyLen))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		PutBuf(buf)
+		return nil, fmt.Errorf("core: frame body: %w", err)
+	}
+	f, err := decodeFrameBody(buf)
+	if err != nil {
+		PutBuf(buf)
+		return nil, err
+	}
+	f.buf = buf
+	return f, nil
+}
+
+// XORDeltaEncode appends an XOR+RLE delta of new vs old to dst and
+// returns the extended slice, or nil when the delta would not be smaller
+// than sending the page raw. old == nil means the zero page: the first
+// time a page is sent its baseline is all-zero guest memory, so
+// mostly-zero pages compress on the bulk round too. The encoding is a
+// sequence of {uvarint zero-run length, uvarint literal length, literal
+// XOR bytes} covering the page.
+func XORDeltaEncode(dst, old, new []byte) []byte {
+	base := len(dst)
+	limit := base + len(new) // beyond this, raw is cheaper
+	i := 0
+	for i < len(new) {
+		run := i
+		if old == nil {
+			for run < len(new) && new[run] == 0 {
+				run++
+			}
+		} else {
+			for run < len(new) && new[run] == old[run] {
+				run++
+			}
+		}
+		if run == len(new) {
+			// Trailing (or whole-page) equal run: implicit, the decoder
+			// stops at the delta's end. An identical page encodes as an
+			// empty delta.
+			break
+		}
+		lit := run
+		// Extend the literal until a zero run long enough to be worth a
+		// new {skip, len} header (3 bytes) appears.
+		for lit < len(new) {
+			z := lit
+			if old == nil {
+				for z < len(new) && new[z] == 0 {
+					z++
+				}
+			} else {
+				for z < len(new) && new[z] == old[z] {
+					z++
+				}
+			}
+			if z-lit >= 4 || z == len(new) {
+				break
+			}
+			lit = z + 1
+			for lit < len(new) {
+				if old == nil {
+					if new[lit] == 0 {
+						break
+					}
+				} else if new[lit] == old[lit] {
+					break
+				}
+				lit++
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(run-i))
+		dst = binary.AppendUvarint(dst, uint64(lit-run))
+		for k := run; k < lit; k++ {
+			if old == nil {
+				dst = append(dst, new[k])
+			} else {
+				dst = append(dst, new[k]^old[k])
+			}
+		}
+		if len(dst) >= limit {
+			return nil
+		}
+		i = lit
+	}
+	return dst
+}
+
+// ApplyXORDelta applies a delta produced by XORDeltaEncode to page in
+// place. An empty delta is a valid no-op (the page was re-dirtied with
+// identical content).
+func ApplyXORDelta(page, delta []byte) error {
+	pos := 0
+	for len(delta) > 0 {
+		skip, n := binary.Uvarint(delta)
+		if n <= 0 {
+			return ErrFrameTruncated
+		}
+		delta = delta[n:]
+		lit, n := binary.Uvarint(delta)
+		if n <= 0 {
+			return ErrFrameTruncated
+		}
+		delta = delta[n:]
+		if skip > uint64(len(page)-pos) || lit > uint64(len(page)-pos)-skip {
+			return errors.New("core: delta overruns page")
+		}
+		pos += int(skip)
+		if lit > uint64(len(delta)) {
+			return ErrFrameTruncated
+		}
+		for k := 0; k < int(lit); k++ {
+			page[pos+k] ^= delta[k]
+		}
+		pos += int(lit)
+		delta = delta[lit:]
+	}
+	return nil
+}

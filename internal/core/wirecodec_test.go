@@ -1,0 +1,364 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// testFrames returns one representative PageFrame per frame kind.
+func testFrames() []*PageFrame {
+	raw := &PageFrame{Kind: FrameRaw, Pages: []int{3, 4, 7, 1000}, Data: make([]byte, 4*PageSize)}
+	for i := range raw.Data {
+		raw.Data[i] = byte(i * 7)
+	}
+	return []*PageFrame{
+		raw,
+		{Kind: FrameDelta, Pages: []int{0, 5, 6}, Sizes: []int{3, 0, 2}, Data: []byte{1, 2, 3, 9, 8}},
+		{Kind: FrameGob, Data: []byte("gob-encoded chunk payload")},
+		{Kind: FrameBlob, Data: bytes.Repeat([]byte{0xAB}, 1024)},
+		{Kind: FrameEnd},
+	}
+}
+
+func frameEq(t *testing.T, want, got *PageFrame) {
+	t.Helper()
+	if got.Kind != want.Kind {
+		t.Fatalf("kind = %v, want %v", got.Kind, want.Kind)
+	}
+	if len(got.Pages) != len(want.Pages) {
+		t.Fatalf("pages = %v, want %v", got.Pages, want.Pages)
+	}
+	for i := range want.Pages {
+		if got.Pages[i] != want.Pages[i] {
+			t.Fatalf("pages = %v, want %v", got.Pages, want.Pages)
+		}
+	}
+	if len(got.Sizes) != len(want.Sizes) {
+		t.Fatalf("sizes = %v, want %v", got.Sizes, want.Sizes)
+	}
+	for i := range want.Sizes {
+		if got.Sizes[i] != want.Sizes[i] {
+			t.Fatalf("sizes = %v, want %v", got.Sizes, want.Sizes)
+		}
+	}
+	if !bytes.Equal(got.Data, want.Data) {
+		t.Fatalf("data mismatch: %d bytes, want %d", len(got.Data), len(want.Data))
+	}
+}
+
+// TestPageFrameRoundTrip round-trips every frame kind through AppendFrame
+// and DecodeFrame, both alone and concatenated on one buffer.
+func TestPageFrameRoundTrip(t *testing.T) {
+	for _, f := range testFrames() {
+		t.Run(f.Kind.String(), func(t *testing.T) {
+			enc := AppendFrame(nil, f)
+			got, n, err := DecodeFrame(enc)
+			if err != nil {
+				t.Fatalf("DecodeFrame: %v", err)
+			}
+			if n != len(enc) {
+				t.Fatalf("consumed %d of %d bytes", n, len(enc))
+			}
+			frameEq(t, f, got)
+		})
+	}
+	// Back-to-back frames decode sequentially off one buffer.
+	var enc []byte
+	for _, f := range testFrames() {
+		enc = AppendFrame(enc, f)
+	}
+	for _, f := range testFrames() {
+		got, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("DecodeFrame(%v): %v", f.Kind, err)
+		}
+		frameEq(t, f, got)
+		enc = enc[n:]
+	}
+	if len(enc) != 0 {
+		t.Fatalf("%d trailing bytes", len(enc))
+	}
+}
+
+// TestPageFrameTruncation checks that every strict prefix of every frame
+// kind's encoding fails to decode rather than mis-parsing.
+func TestPageFrameTruncation(t *testing.T) {
+	for _, f := range testFrames() {
+		t.Run(f.Kind.String(), func(t *testing.T) {
+			enc := AppendFrame(nil, f)
+			for i := 0; i < len(enc); i++ {
+				if _, _, err := DecodeFrame(enc[:i]); err == nil {
+					t.Fatalf("prefix of %d/%d bytes decoded", i, len(enc))
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeFrameRejects exercises the decoder's validation: malformed
+// frames must error, never alias garbage.
+func TestDecodeFrameRejects(t *testing.T) {
+	body := func(b ...byte) []byte {
+		enc := binary.LittleEndian.AppendUint32(nil, uint32(len(b)))
+		return append(enc, b...)
+	}
+	cases := []struct {
+		name string
+		enc  []byte
+	}{
+		{"unknown kind", body(0x99, 0)},
+		{"empty body", body()},
+		{"end with payload", AppendFrame(nil, &PageFrame{Kind: FrameEnd, Data: []byte{1}})},
+		{"blob with pages", AppendFrame(nil, &PageFrame{Kind: FrameBlob, Pages: []int{1}, Data: make([]byte, PageSize)})},
+		{"gob with pages", AppendFrame(nil, &PageFrame{Kind: FrameGob, Pages: []int{1}, Data: make([]byte, PageSize)})},
+		{"duplicate page", AppendFrame(nil, &PageFrame{Kind: FrameRaw, Pages: []int{5, 5}, Data: make([]byte, 2*PageSize)})},
+		{"descending pages", AppendFrame(nil, &PageFrame{Kind: FrameRaw, Pages: []int{5, 3}, Data: make([]byte, 2*PageSize)})},
+		{"raw size mismatch", AppendFrame(nil, &PageFrame{Kind: FrameRaw, Pages: []int{1}, Data: make([]byte, 10)})},
+		{"delta size over page", AppendFrame(nil, &PageFrame{Kind: FrameDelta, Pages: []int{1}, Sizes: []int{PageSize + 1}, Data: make([]byte, PageSize+1)})},
+		{"delta sizes sum mismatch", AppendFrame(nil, &PageFrame{Kind: FrameDelta, Pages: []int{1}, Sizes: []int{4}, Data: make([]byte, 7)})},
+		{"oversized length prefix", binary.LittleEndian.AppendUint32(nil, maxFrameBody+1)},
+		{"too many pages", body(append([]byte{byte(FrameRaw)}, binary.AppendUvarint(nil, maxFramePages+1)...)...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := DecodeFrame(tc.enc); err == nil {
+				t.Fatal("decoded malformed frame")
+			}
+		})
+	}
+}
+
+// TestWriteReadFrame streams frames through an io.Writer/Reader pair (the
+// connTransport path) and checks the pooled-buffer contract.
+func TestWriteReadFrame(t *testing.T) {
+	var stream bytes.Buffer
+	for _, f := range testFrames() {
+		if err := WriteFrame(&stream, f); err != nil {
+			t.Fatalf("WriteFrame(%v): %v", f.Kind, err)
+		}
+	}
+	for _, f := range testFrames() {
+		got, err := ReadFrame(&stream)
+		if err != nil {
+			t.Fatalf("ReadFrame(%v): %v", f.Kind, err)
+		}
+		frameEq(t, f, got)
+		got.Release()
+	}
+	if stream.Len() != 0 {
+		t.Fatalf("%d trailing bytes", stream.Len())
+	}
+	// A stream that ends mid-frame reports an error, not a short frame.
+	stream.Reset()
+	enc := AppendFrame(nil, testFrames()[0])
+	stream.Write(enc[:len(enc)-1])
+	if _, err := ReadFrame(&stream); err == nil {
+		t.Fatal("ReadFrame decoded a truncated stream")
+	}
+}
+
+// randomDeltaPage mutates a copy of old in a few random windows, the
+// re-dirtied-page shape delta encoding targets.
+func randomDeltaPage(rng *rand.Rand, old []byte) []byte {
+	cur := append([]byte(nil), old...)
+	for w := 0; w < 1+rng.Intn(4); w++ {
+		off := rng.Intn(len(cur))
+		n := 1 + rng.Intn(128)
+		if off+n > len(cur) {
+			n = len(cur) - off
+		}
+		rng.Read(cur[off : off+n])
+	}
+	return cur
+}
+
+// TestXORDeltaProperty: for random page pairs, a non-nil delta must apply
+// back to bit-exact content and be smaller than the raw page; identical
+// pages must encode as an empty delta.
+func TestXORDeltaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		old := make([]byte, PageSize)
+		var baseline []byte // nil = zero page
+		if iter%3 != 0 {
+			rng.Read(old)
+			baseline = old
+		}
+		cur := randomDeltaPage(rng, old)
+		out := XORDeltaEncode(nil, baseline, cur)
+		if out == nil {
+			continue // raw is cheaper; nothing to verify
+		}
+		if len(out) >= PageSize {
+			t.Fatalf("iter %d: delta of %d bytes not smaller than page", iter, len(out))
+		}
+		page := append([]byte(nil), old...)
+		if err := ApplyXORDelta(page, out); err != nil {
+			t.Fatalf("iter %d: ApplyXORDelta: %v", iter, err)
+		}
+		if !bytes.Equal(page, cur) {
+			t.Fatalf("iter %d: delta did not reproduce page", iter)
+		}
+	}
+	// Identical content encodes as an empty delta, and applying it is a
+	// no-op.
+	page := make([]byte, PageSize)
+	rng.Read(page)
+	out := XORDeltaEncode(nil, page, page)
+	if len(out) != 0 {
+		t.Fatalf("identical page delta = %d bytes, want 0", len(out))
+	}
+	// Appending to an existing buffer keeps earlier deltas intact.
+	prefix := []byte{1, 2, 3}
+	cur := randomDeltaPage(rng, page)
+	out = XORDeltaEncode(prefix, page, cur)
+	if out != nil && !bytes.Equal(out[:3], prefix) {
+		t.Fatal("encoder clobbered the destination prefix")
+	}
+}
+
+// TestApplyXORDeltaRejects: hostile deltas must not write outside the page.
+func TestApplyXORDeltaRejects(t *testing.T) {
+	page := make([]byte, PageSize)
+	cases := [][]byte{
+		binary.AppendUvarint(nil, PageSize+1),                                     // skip past the end
+		append(binary.AppendUvarint(binary.AppendUvarint(nil, 0), PageSize+1), 0), // literal past the end
+		binary.AppendUvarint(binary.AppendUvarint(nil, 0), 8),                     // literal truncated
+		{0x80}, // unterminated uvarint
+	}
+	for i, d := range cases {
+		if err := ApplyXORDelta(page, d); err == nil {
+			t.Fatalf("case %d: hostile delta accepted", i)
+		}
+	}
+}
+
+// TestEncodeChunk drives the chunk splitter: compressible pages ride the
+// delta frame, incompressible ones the raw frame, and applying both onto a
+// target that mirrors the cache baseline reproduces the source bit-exactly.
+func TestEncodeChunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cache := make(DeltaCache)
+	pages := []int{2, 9, 10, 40}
+	mem := map[int][]byte{} // target-side page state, starts zeroed
+	for _, p := range pages {
+		mem[p] = make([]byte, PageSize)
+	}
+
+	capture := func(content map[int][]byte) []byte {
+		data := GetBuf(len(pages) * PageSize)
+		for i, p := range pages {
+			copy(data[i*PageSize:(i+1)*PageSize], content[p])
+		}
+		return data
+	}
+	apply := func(raw, delta *PageFrame) {
+		if raw != nil {
+			for i, p := range raw.Pages {
+				copy(mem[p], raw.Data[i*PageSize:(i+1)*PageSize])
+			}
+			raw.Release()
+		}
+		if delta != nil {
+			off := 0
+			for i, p := range delta.Pages {
+				sz := delta.Sizes[i]
+				if err := ApplyXORDelta(mem[p], delta.Data[off:off+sz]); err != nil {
+					t.Fatalf("apply delta page %d: %v", p, err)
+				}
+				off += sz
+			}
+			delta.Release()
+		}
+	}
+
+	// Round 1 vs the zero baseline: a zero page and a sparse page compress,
+	// a random page does not.
+	src := map[int][]byte{
+		2:  make([]byte, PageSize),            // all zero
+		9:  make([]byte, PageSize),            // sparse
+		10: make([]byte, PageSize),            // random
+		40: bytes.Repeat([]byte{1}, PageSize), // dense but patterned: delta vs zero is full-page literal → raw
+	}
+	rng.Read(src[9][100:180])
+	rng.Read(src[10])
+	raw, delta, saved := EncodeChunk(pages, capture(src), cache)
+	if delta == nil {
+		t.Fatal("round 1 produced no delta frame")
+	}
+	if raw == nil {
+		t.Fatal("round 1 produced no raw frame")
+	}
+	if saved <= 0 {
+		t.Fatalf("round 1 saved %d bytes", saved)
+	}
+	for _, p := range delta.Pages {
+		if p != 2 && p != 9 {
+			t.Fatalf("page %d rode the delta frame", p)
+		}
+	}
+	apply(raw, delta)
+	for _, p := range pages {
+		if !bytes.Equal(mem[p], src[p]) {
+			t.Fatalf("round 1: page %d corrupted", p)
+		}
+	}
+
+	// Round 2: every page re-dirtied in a small window → all-delta chunk,
+	// applied on top of round 1's content.
+	for _, p := range pages {
+		src[p] = randomDeltaPage(rng, src[p])
+	}
+	raw, delta, saved = EncodeChunk(pages, capture(src), cache)
+	if raw != nil {
+		t.Fatalf("round 2 sent pages %v raw", raw.Pages)
+	}
+	if delta == nil || len(delta.Pages) != len(pages) {
+		t.Fatal("round 2 should delta every page")
+	}
+	if saved <= 0 {
+		t.Fatalf("round 2 saved %d bytes", saved)
+	}
+	apply(raw, delta)
+	for _, p := range pages {
+		if !bytes.Equal(mem[p], src[p]) {
+			t.Fatalf("round 2: page %d corrupted", p)
+		}
+	}
+}
+
+// FuzzFrameDecode hammers the frame decoder with arbitrary prefixes: it
+// must never panic, and whatever it accepts must survive a canonical
+// re-encode/decode round trip.
+func FuzzFrameDecode(f *testing.F) {
+	for _, pf := range testFrames() {
+		f.Add(AppendFrame(nil, pf))
+	}
+	enc := AppendFrame(nil, testFrames()[0])
+	f.Add(enc[:len(enc)-3])                                          // truncated body
+	f.Add(binary.LittleEndian.AppendUint32(nil, 1<<31))              // hostile length
+	f.Add(append(binary.LittleEndian.AppendUint32(nil, 2), 0x99, 0)) // unknown kind
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pf, n, err := DecodeFrame(b)
+		if err != nil {
+			return
+		}
+		if n < 5 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if len(pf.Pages) > maxFramePages || len(pf.Data) > maxFrameBody {
+			t.Fatalf("decoded frame exceeds bounds: %d pages, %d bytes", len(pf.Pages), len(pf.Data))
+		}
+		enc := AppendFrame(nil, pf)
+		pf2, n2, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(enc))
+		}
+		frameEq(t, pf, pf2)
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/attest"
 	"repro/internal/core"
@@ -238,6 +239,28 @@ const swapChunkPages = 64
 // and the consumer.
 const swapStreamQueue = 4
 
+// swapBatchPool recycles the batch slices of the ESWPOUT → ESWPIN stream:
+// a migration seals thousands of pages in swapChunkPages batches, and
+// without pooling every batch is a fresh allocation on the downtime path.
+var swapBatchPool = sync.Pool{
+	New: func() any { return make([]*sgx.MigratedPage, 0, swapChunkPages) },
+}
+
+// getSwapBatch hands out an empty batch with swapChunkPages capacity. Pair
+// with putSwapBatch once the batch's pages are installed (or dropped).
+func getSwapBatch() []*sgx.MigratedPage {
+	return swapBatchPool.Get().([]*sgx.MigratedPage)[:0]
+}
+
+// putSwapBatch returns a drained batch to the pool, dropping the page
+// pointers first so the pool does not pin sealed page content.
+func putSwapBatch(b []*sgx.MigratedPage) {
+	for i := range b {
+		b[i] = nil
+	}
+	swapBatchPool.Put(b[:0])
+}
+
 // MigrateTransparent migrates an enclave from src to dst entirely in system
 // software using the extension instructions: freeze (EMIGRATE), re-seal
 // every page under the shared migration key (ESWPOUT), install on the
@@ -284,27 +307,30 @@ func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployme
 	outSp := mig.Fork("hwext.eswpout")
 	go func() {
 		defer close(chunks)
-		batch := make([]*sgx.MigratedPage, 0, swapChunkPages)
+		batch := getSwapBatch()
 		for _, lin := range lins {
 			mp, err := srcM.ESWPOUT(eid, lin)
 			if err != nil {
 				e := fmt.Errorf("hwext: ESWPOUT page %d: %w", lin, err)
 				outSp.Fail(e)
+				putSwapBatch(batch)
 				prodErr <- e
 				return
 			}
 			batch = append(batch, mp)
 			if len(batch) == swapChunkPages {
 				chunks <- batch
-				sealedCtr.Add(int64(len(batch)))
+				sealedCtr.Add(swapChunkPages)
 				qGauge.Set(int64(len(chunks)))
-				batch = make([]*sgx.MigratedPage, 0, swapChunkPages)
+				batch = getSwapBatch()
 			}
 		}
 		if len(batch) > 0 {
 			chunks <- batch
 			sealedCtr.Add(int64(len(batch)))
 			qGauge.Set(int64(len(chunks)))
+		} else {
+			putSwapBatch(batch)
 		}
 		outSp.End()
 		prodErr <- nil
@@ -312,7 +338,8 @@ func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployme
 	// fail drains the stream so the producer never stays parked on a dead
 	// consumer, then waits for it to finish.
 	fail := func(err error) (*enclave.Runtime, error) {
-		for range chunks {
+		for b := range chunks {
+			putSwapBatch(b)
 		}
 		<-prodErr
 		return nil, err
@@ -346,11 +373,13 @@ func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployme
 		for _, mp := range batch {
 			f, err := dstP.Host.Mgr.AllocFrame()
 			if err != nil {
+				putSwapBatch(batch)
 				cleanupTarget()
 				return fail(err)
 			}
 			if err := dstM.ESWPIN(f, eid2, mp); err != nil {
 				dstP.Host.Mgr.ReturnFrame(f)
+				putSwapBatch(batch)
 				cleanupTarget()
 				return fail(fmt.Errorf("hwext: ESWPIN page %d: %w", mp.Lin, err))
 			}
@@ -362,6 +391,7 @@ func MigrateTransparent(src *enclave.Runtime, dstP *Platform, dep *core.Deployme
 		}
 		installCtr.Add(int64(len(batch)))
 		qGauge.Set(int64(len(chunks)))
+		putSwapBatch(batch)
 	}
 	if err := <-prodErr; err != nil {
 		cleanupTarget()

@@ -199,14 +199,20 @@ func DefaultConfig(modPath string) *Config {
 		},
 		WireEnums: []string{
 			modPath + "/internal/core.MsgKind",
+			modPath + "/internal/core.FrameKind",
 			modPath + "/internal/hostproto.Op",
 		},
-		WireRecvFns: []string{"recvKind"},
+		WireRecvFns: []string{"recvKind", "recvBulk"},
 		WireStructs: []WireStruct{
 			{
 				Type:   modPath + "/internal/core.Message",
 				Encode: "(*encoding/gob.Encoder).Encode",
 				Decode: "(*encoding/gob.Decoder).Decode",
+			},
+			{
+				Type:   modPath + "/internal/core.PageFrame",
+				Encode: modPath + "/internal/core.AppendFrame",
+				Decode: modPath + "/internal/core.DecodeFrame",
 			},
 			{
 				Type:   modPath + "/internal/hostproto.Command",
@@ -298,6 +304,22 @@ func DefaultConfig(modPath string) *Config {
 					// Destroying the runtime ends its quiescence with it.
 					"(*" + modPath + "/internal/enclave.Runtime).Destroy",
 				},
+			},
+			{
+				Kind: "pooled-buf",
+				// The wire codec's page/frame buffers come from a sync.Pool;
+				// a Get that can return without a Put (directly or via
+				// PageFrame.Release / a callee that puts on every path)
+				// leaks the buffer back to the allocator and defeats the
+				// pool.
+				Acquires: []string{modPath + "/internal/core.GetBuf"},
+				Releases: []string{modPath + "/internal/core.PutBuf"},
+			},
+			{
+				Kind: "swap-batch",
+				// hwext's ESWPOUT→ESWPIN stream recycles page-batch slices.
+				Acquires: []string{modPath + "/internal/hwext.getSwapBatch"},
+				Releases: []string{modPath + "/internal/hwext.putSwapBatch"},
 			},
 			{
 				Kind: "span",

@@ -20,6 +20,7 @@ type Metrics struct {
 	counters map[string]*Counter   // guarded by mu
 	gauges   map[string]*Gauge     // guarded by mu
 	hists    map[string]*Histogram // guarded by mu
+	ratios   map[string]*Ratio     // guarded by mu
 }
 
 // NewMetrics returns an enabled registry.
@@ -28,6 +29,7 @@ func NewMetrics() *Metrics {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		ratios:   make(map[string]*Ratio),
 	}
 }
 
@@ -77,6 +79,68 @@ func (m *Metrics) Histogram(name string, bounds []int64) *Histogram {
 		m.hists[name] = h
 	}
 	return h
+}
+
+// Ratio returns the named hit ratio, creating it if needed.
+func (m *Metrics) Ratio(name string) *Ratio {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.ratios[name]
+	if r == nil {
+		r = &Ratio{}
+		m.ratios[name] = r
+	}
+	return r
+}
+
+// Ratio tracks a hit rate: hits over total observations (delta-frame hit
+// rate, cache hit rate). Observation is one or two atomic adds.
+type Ratio struct {
+	hits  atomic.Int64
+	total atomic.Int64
+}
+
+// Observe files one observation; hit says whether it counts toward the
+// numerator.
+func (r *Ratio) Observe(hit bool) {
+	if r == nil {
+		return
+	}
+	if hit {
+		r.hits.Add(1)
+	}
+	r.total.Add(1)
+}
+
+// Hits returns the numerator.
+func (r *Ratio) Hits() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.hits.Load()
+}
+
+// Total returns the denominator.
+func (r *Ratio) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// Value returns hits/total, or 0 with no observations.
+func (r *Ratio) Value() float64 {
+	if r == nil {
+		return 0
+	}
+	t := r.total.Load()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.hits.Load()) / float64(t)
 }
 
 // Counter is a monotonically increasing atomic counter.
@@ -269,6 +333,10 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	for k, v := range m.hists {
 		hists[k] = v
 	}
+	ratios := make(map[string]*Ratio, len(m.ratios))
+	for k, v := range m.ratios {
+		ratios[k] = v
+	}
 	m.mu.Unlock()
 
 	for _, name := range sortedKeys(counters) {
@@ -278,6 +346,12 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(gauges) {
 		if _, err := fmt.Fprintf(w, "gauge %s %d\n", name, gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(ratios) {
+		r := ratios[name]
+		if _, err := fmt.Fprintf(w, "ratio %s %d/%d = %.4f\n", name, r.Hits(), r.Total(), r.Value()); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRatio(t *testing.T) {
+	m := NewMetrics()
+	r := m.Ratio("vmm.delta.hitrate")
+	if r != m.Ratio("vmm.delta.hitrate") {
+		t.Fatal("repeated lookup returned a different instrument")
+	}
+	if r.Value() != 0 {
+		t.Fatalf("empty ratio = %v, want 0", r.Value())
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe(i%4 == 0) // 3 hits of 10
+	}
+	if r.Hits() != 3 || r.Total() != 10 {
+		t.Fatalf("hits/total = %d/%d, want 3/10", r.Hits(), r.Total())
+	}
+	if v := r.Value(); v != 0.3 {
+		t.Fatalf("value = %v, want 0.3", v)
+	}
+
+	var sb strings.Builder
+	if err := m.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ratio vmm.delta.hitrate 3/10 = 0.3000") {
+		t.Fatalf("WriteText missing ratio line:\n%s", sb.String())
+	}
+}
+
+func TestRatioNilSafe(t *testing.T) {
+	var m *Metrics
+	r := m.Ratio("x")
+	r.Observe(true)
+	if r.Hits() != 0 || r.Total() != 0 || r.Value() != 0 {
+		t.Fatal("nil ratio must be a zero no-op")
+	}
+}
+
+func TestRatioConcurrent(t *testing.T) {
+	r := NewMetrics().Ratio("r")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Observe(i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Hits() != 4000 || r.Total() != 8000 {
+		t.Fatalf("hits/total = %d/%d, want 4000/8000", r.Hits(), r.Total())
+	}
+}

@@ -1,6 +1,9 @@
 package vmm
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -17,6 +20,36 @@ import (
 // to the target guest OS.
 type TransportFactory func(name string, src, dst core.Transport) (core.Transport, core.Transport)
 
+// PageCodec selects how LiveMigrate encodes guest pages onto the
+// migration link (ablation A5 compares the three).
+type PageCodec int
+
+const (
+	// CodecFramedDelta is the default: binary page frames, with pages that
+	// were already sent this migration encoded as XOR+RLE deltas against
+	// the previously sent content whenever the delta is smaller than the
+	// raw page. Pages never sent before are delta'd against the zero page,
+	// so even the bulk round compresses.
+	CodecFramedDelta PageCodec = iota
+	// CodecFramed uses binary raw-page frames only (no delta pass).
+	CodecFramed
+	// CodecGob gob-encodes each chunk and ships it inside a frame — the
+	// reflection-based baseline the binary codec replaces.
+	CodecGob
+)
+
+func (c PageCodec) String() string {
+	switch c {
+	case CodecFramedDelta:
+		return "framed+delta"
+	case CodecFramed:
+		return "framed"
+	case CodecGob:
+		return "gob"
+	}
+	return fmt.Sprintf("PageCodec(%d)", int(c))
+}
+
 // LiveMigrationConfig parameterises a live VM migration.
 type LiveMigrationConfig struct {
 	// BandwidthBps is the simulated migration-link bandwidth in bytes per
@@ -32,6 +65,8 @@ type LiveMigrationConfig struct {
 	// SendQueueChunks bounds the sender queue: at most this many chunks may
 	// be collected ahead of the (bandwidth-shaped) link (default 8).
 	SendQueueChunks int
+	// PageCodec selects the bulk page encoding (default CodecFramedDelta).
+	PageCodec PageCodec
 	// SerialDump restores the paper's serial Fig. 8 schedule: the enclave
 	// dump completes before the iterative pre-copy rounds start. By default
 	// the dump overlaps pre-copy (the checkpoint pages land in guest memory
@@ -118,12 +153,25 @@ type LiveMigrationStats struct {
 	// round (every page), the rest the iterative rounds including the
 	// residue sent right before stop-and-copy.
 	RoundDirtyPages []int
-	// Per-phase bytes on the link (BulkBytes + PreCopyBytes + StopCopyBytes
-	// + EnclaveCtlBytes == TransferredBytes).
+	// Per-phase logical bytes: pages (or device-state payload) × their full
+	// size, regardless of how the codec encoded them. BulkBytes +
+	// PreCopyBytes + StopCopyBytes + EnclaveCtlBytes == TransferredBytes.
 	BulkBytes       int64
 	PreCopyBytes    int64
 	StopCopyBytes   int64
 	EnclaveCtlBytes int64
+	// Wire accounting: bytes the framed codec actually put on the link per
+	// phase, including frame headers. With CodecFramedDelta, WireBytes is
+	// below TransferredBytes; the gap is what delta encoding saved.
+	WireBytes         int64
+	BulkWireBytes     int64
+	PreCopyWireBytes  int64
+	StopCopyWireBytes int64
+	// Frame mix of the page stream: how many raw-page and delta frames were
+	// sent, and the payload bytes delta encoding saved vs raw pages.
+	RawFrames       int64
+	DeltaFrames     int64
+	DeltaSavedBytes int64
 }
 
 // link simulates the migration network link.
@@ -149,52 +197,165 @@ func (l *link) total() int64 {
 	return l.bytes
 }
 
-// pageChunk is one unit of the migration stream: a batch of page contents
-// captured on the source, in flight to the target.
-type pageChunk struct {
-	pages   []int
-	data    []byte
-	counter *int64 // per-phase byte counter, touched only by the sender
+// gobChunk is the CodecGob payload: one captured chunk, gob-encoded inside
+// a FrameGob frame. It reproduces the reflection-based encoding the binary
+// codec replaced, as the A5 ablation baseline.
+type gobChunk struct {
+	Pages []int
+	Data  []byte
 }
 
-// chunkSender is the bounded-channel transmit pipeline: the collector side
-// enqueues captured chunks while the sender goroutine pushes earlier chunks
-// through the bandwidth-shaped link and applies them to target memory, so
-// collection overlaps with transmission. FIFO order guarantees that a page
-// re-sent in a later round overwrites its earlier copy on the target.
+// sendItem is one frame queued for transmission, with the per-phase
+// accounting it belongs to (the counters are touched only by the sender
+// goroutine, then read after drain).
+type sendItem struct {
+	f       *core.PageFrame
+	logical int64  // page payload bytes this frame represents
+	logCtr  *int64 // per-phase logical byte counter
+	wireCtr *int64 // per-phase wire byte counter
+}
+
+// chunkSender is the transmit pipeline of the page stream: the collector
+// side captures and encodes chunks into frames and enqueues them, a sender
+// goroutine pushes the frames through a bandwidth-shaped core.FrameTransport,
+// and an applier goroutine on the "target" half of that pipe decodes and
+// installs them into target memory. Collection thus overlaps transmission,
+// and transmission overlaps application. FIFO order end to end guarantees
+// that a page re-sent in a later round overwrites its earlier copy on the
+// target — and that the target-side page content always matches the delta
+// baseline the collector recorded in cache when it encoded the frame.
 type chunkSender struct {
-	ch   chan pageChunk
-	wg   sync.WaitGroup
-	once sync.Once
+	ft    core.FrameTransport // source half of the shaped page stream
+	bc    core.ByteCounter    // = ft; wire bytes actually enqueued
+	codec PageCodec
+	cache core.DeltaCache // last-sent page content, collector-only
+
+	ch      chan sendItem
+	wg      sync.WaitGroup // sender goroutine
+	once    sync.Once      // guards drain
+	applied chan struct{}  // closed when the applier goroutine exits
+
+	sendErr  error // written by the sender goroutine; read after wg.Wait
+	applyErr error // written by the applier goroutine; read after <-applied
+	drainErr error // set inside drain's once
+
+	// Frame-mix accounting, collector-only until drain.
+	rawFrames   int64
+	deltaFrames int64
+	deltaSaved  int64
 
 	// Instruments, nil when the migration runs without a metrics registry
 	// (their methods are nil-safe, but copyHist gates a time.Now pair so
 	// the uninstrumented copy path pays nothing).
 	copyHist *telemetry.Histogram // page-copy latency, ns per chunk
-	qGauge   *telemetry.Gauge     // queue occupancy after each enqueue/drain
+	qGauge   *telemetry.Gauge     // queue occupancy after each enqueue/send
 	sentCtr  *telemetry.Counter   // pages applied on the target
+	wireCtr  *telemetry.Counter   // bytes on the wire, all phases
+	hitRatio *telemetry.Ratio     // delta-frame pages / all pages sent
 }
 
-func newChunkSender(dst *GuestMemory, l *link, queue int, met *telemetry.Metrics) *chunkSender {
-	s := &chunkSender{ch: make(chan pageChunk, queue)}
+func newChunkSender(dst *GuestMemory, cfg *LiveMigrationConfig, met *telemetry.Metrics) *chunkSender {
+	src, tgt := core.NewShapedPipe(0, cfg.bandwidth())
+	s := &chunkSender{
+		ft:      src.(core.FrameTransport),
+		bc:      src.(core.ByteCounter),
+		codec:   cfg.PageCodec,
+		cache:   make(core.DeltaCache),
+		ch:      make(chan sendItem, cfg.sendQueue()),
+		applied: make(chan struct{}),
+	}
+	rt := tgt.(core.FrameTransport)
 	if met != nil {
 		s.copyHist = met.Histogram("vmm.pagecopy.ns", pageCopyBounds)
 		s.qGauge = met.Gauge("vmm.sendq.chunks")
 		s.sentCtr = met.Counter("vmm.pages.sent")
+		s.wireCtr = met.Counter("vmm.wire.bytes")
+		s.hitRatio = met.Ratio("vmm.delta.hitrate")
 	}
 	s.wg.Add(1)
-	go func() {
+	go func() { // sender: frames through the shaped link
 		defer s.wg.Done()
-		for c := range s.ch {
-			n := int64(len(c.pages)) * PageSize
-			l.transfer(n)
-			dst.ApplyPages(c.pages, c.data)
-			*c.counter += n
-			s.sentCtr.Add(int64(len(c.pages)))
+		for it := range s.ch {
+			if s.sendErr != nil {
+				it.f.Release()
+				continue
+			}
+			before := s.bc.BytesSent()
+			if err := s.ft.SendFrame(it.f); err != nil {
+				s.sendErr = err
+				continue
+			}
+			wire := s.bc.BytesSent() - before
+			*it.logCtr += it.logical
+			*it.wireCtr += wire
+			s.wireCtr.Add(wire)
 			s.qGauge.Set(int64(len(s.ch)))
 		}
 	}()
+	go func() { // applier: decode and install on the target half
+		defer close(s.applied)
+		for {
+			f, err := rt.RecvFrame()
+			if err != nil {
+				// A closed stream is drain (or failure unwind), not an
+				// apply error in its own right.
+				if !errors.Is(err, core.ErrTransportClosed) {
+					s.applyErr = err
+				}
+				return
+			}
+			done := f.Kind == core.FrameEnd
+			aerr := applyFrame(dst, f, s.sentCtr)
+			f.Release()
+			if aerr != nil {
+				s.applyErr = aerr
+				_ = rt.Close() // unblock the sender
+				return
+			}
+			if done {
+				return
+			}
+		}
+	}()
 	return s
+}
+
+// applyFrame installs one received frame into target guest memory.
+func applyFrame(dst *GuestMemory, f *core.PageFrame, pages *telemetry.Counter) error {
+	if n := len(f.Pages); n > 0 && f.Pages[n-1] >= dst.Pages() {
+		return fmt.Errorf("vmm: migrated page %d outside guest memory", f.Pages[n-1])
+	}
+	switch f.Kind {
+	case core.FrameRaw:
+		dst.ApplyPages(f.Pages, f.Data)
+		pages.Add(int64(len(f.Pages)))
+	case core.FrameDelta:
+		if err := dst.ApplyPageDeltas(f.Pages, f.Sizes, f.Data); err != nil {
+			return err
+		}
+		pages.Add(int64(len(f.Pages)))
+	case core.FrameGob:
+		var c gobChunk
+		if err := gob.NewDecoder(bytes.NewReader(f.Data)).Decode(&c); err != nil {
+			return fmt.Errorf("vmm: decode gob chunk: %w", err)
+		}
+		if len(c.Data) != len(c.Pages)*PageSize {
+			return fmt.Errorf("vmm: gob chunk size mismatch: %d pages, %d bytes", len(c.Pages), len(c.Data))
+		}
+		for _, p := range c.Pages {
+			if p < 0 || p >= dst.Pages() {
+				return fmt.Errorf("vmm: migrated page %d outside guest memory", p)
+			}
+		}
+		dst.ApplyPages(c.Pages, c.Data)
+		pages.Add(int64(len(c.Pages)))
+	case core.FrameBlob:
+		// Opaque device/system state: shipped for its transfer time,
+		// nothing to install in the simulation.
+	case core.FrameEnd:
+		// Stream terminator; the caller stops on it.
+	}
+	return nil
 }
 
 // pageCopyBounds buckets the per-chunk source copy latency (nanoseconds).
@@ -205,37 +366,110 @@ var pageCopyBounds = telemetry.LogBounds(1000, 10_000_000) // 1µs .. 10ms
 // roundBytesBounds buckets the per-round transfer volume (bytes).
 var roundBytesBounds = telemetry.LogBounds(1<<16, 1<<28) // 64KiB .. 256MiB
 
-// send captures the given source pages in chunks and enqueues them. It blocks
-// only when the queue is full (the link is the bottleneck). ctx is the
-// sending phase's trace context: each copy latency is recorded with it as
-// a bucket exemplar, so a surprising p99 in vmm.pagecopy.ns points at a
-// concrete bulk/pre-copy/stop-copy span to open.
-func (s *chunkSender) send(src *GuestMemory, pages []int, chunk int, counter *int64, ctx telemetry.Context) {
+// send captures the given source pages in chunks, encodes each chunk per
+// the configured codec, and enqueues the resulting frames. It blocks only
+// when the queue is full (the link is the bottleneck). ctx is the sending
+// phase's trace context: each copy latency is recorded with it as a bucket
+// exemplar, so a surprising p99 in vmm.pagecopy.ns points at a concrete
+// bulk/pre-copy/stop-copy span to open.
+func (s *chunkSender) send(src *GuestMemory, pages []int, chunk int, logCtr, wireCtr *int64, ctx telemetry.Context) {
 	for off := 0; off < len(pages); off += chunk {
 		end := off + chunk
 		if end > len(pages) {
 			end = len(pages)
 		}
 		part := pages[off:end]
-		data := make([]byte, len(part)*PageSize)
-		if s.copyHist != nil {
-			t0 := time.Now()
-			src.CopyPages(part, data)
-			s.copyHist.ObserveExemplar(time.Since(t0).Nanoseconds(), ctx)
-		} else {
-			src.CopyPages(part, data)
+		logical := int64(len(part)) * PageSize
+		switch s.codec {
+		case CodecFramed:
+			f := core.NewRawFrame(part)
+			s.capture(src, part, f.Data, ctx)
+			s.rawFrames++
+			s.enqueue(f, logical, logCtr, wireCtr)
+		case CodecGob:
+			data := core.GetBuf(len(part) * PageSize)
+			s.capture(src, part, data, ctx)
+			var buf bytes.Buffer
+			// Gob of a plain slice struct into a bytes.Buffer cannot fail.
+			_ = gob.NewEncoder(&buf).Encode(gobChunk{Pages: part, Data: data})
+			core.PutBuf(data)
+			s.enqueue(&core.PageFrame{Kind: core.FrameGob, Data: buf.Bytes()}, logical, logCtr, wireCtr)
+		default: // CodecFramedDelta
+			data := core.GetBuf(len(part) * PageSize)
+			s.capture(src, part, data, ctx)
+			raw, delta, saved := core.EncodeChunk(part, data, s.cache)
+			s.deltaSaved += saved
+			if raw != nil {
+				s.rawFrames++
+				s.observePages(len(raw.Pages), false)
+				s.enqueue(raw, int64(len(raw.Pages))*PageSize, logCtr, wireCtr)
+			}
+			if delta != nil {
+				s.deltaFrames++
+				s.observePages(len(delta.Pages), true)
+				s.enqueue(delta, int64(len(delta.Pages))*PageSize, logCtr, wireCtr)
+			}
 		}
-		s.ch <- pageChunk{pages: part, data: data, counter: counter}
-		s.qGauge.Set(int64(len(s.ch)))
 	}
 }
 
-// drain closes the queue and waits until every in-flight chunk has crossed
-// the link and landed in target memory. Idempotent: the failure path may
-// drain after the stop-and-copy phase already has.
-func (s *chunkSender) drain() {
-	s.once.Do(func() { close(s.ch) })
-	s.wg.Wait()
+// capture copies the chunk's pages out of source memory, timing the copy
+// when instrumented.
+func (s *chunkSender) capture(src *GuestMemory, part []int, dst []byte, ctx telemetry.Context) {
+	if s.copyHist != nil {
+		t0 := time.Now()
+		src.CopyPages(part, dst)
+		s.copyHist.ObserveExemplar(time.Since(t0).Nanoseconds(), ctx)
+		return
+	}
+	src.CopyPages(part, dst)
+}
+
+func (s *chunkSender) enqueue(f *core.PageFrame, logical int64, logCtr, wireCtr *int64) {
+	s.ch <- sendItem{f: f, logical: logical, logCtr: logCtr, wireCtr: wireCtr}
+	s.qGauge.Set(int64(len(s.ch)))
+}
+
+// observePages files one delta-hit-rate observation per page of a frame.
+func (s *chunkSender) observePages(n int, hit bool) {
+	for i := 0; i < n; i++ {
+		s.hitRatio.Observe(hit)
+	}
+}
+
+// sendBlob ships n bytes of opaque state (device/system state) through the
+// page stream as a FrameBlob, so it shares the link's shaping and wire
+// accounting with the page frames.
+func (s *chunkSender) sendBlob(n int, logCtr, wireCtr *int64) {
+	s.enqueue(&core.PageFrame{Kind: core.FrameBlob, Data: make([]byte, n)}, int64(n), logCtr, wireCtr)
+}
+
+// drain closes the queue, terminates the stream with a FrameEnd, and waits
+// until every in-flight frame has crossed the link and landed in target
+// memory. Idempotent: the failure path may drain after the stop-and-copy
+// phase already has. Returns the first transmit or apply error.
+func (s *chunkSender) drain() error {
+	s.once.Do(func() {
+		close(s.ch)
+		s.wg.Wait()
+		if s.sendErr == nil {
+			if err := s.ft.SendFrame(&core.PageFrame{Kind: core.FrameEnd}); err != nil {
+				s.sendErr = err
+			}
+		}
+		if s.sendErr != nil {
+			// No terminator made it out; close the stream so an applier
+			// parked on RecvFrame exits.
+			_ = s.ft.Close()
+		}
+		<-s.applied
+		_ = s.ft.Close()
+		s.drainErr = s.sendErr
+		if s.drainErr == nil {
+			s.drainErr = s.applyErr
+		}
+	})
+	return s.drainErr
 }
 
 // dumpResult carries PrepareAllEnclaves' outcome out of its goroutine.
@@ -274,6 +508,8 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 		opts = &core.Options{Service: vm.Node.Service}
 	}
 	stats := &LiveMigrationStats{}
+	// The page stream has its own shaped transport inside the chunk sender;
+	// this link only carries the per-enclave control-protocol traffic.
 	l := &link{bps: cfg.bandwidth()}
 	met := cfg.Metrics
 
@@ -301,12 +537,13 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	stats.EnclaveCount = len(procs)
 	root.Annotate(telemetry.Int("enclaves", len(procs)))
 
-	snd := newChunkSender(tvm.Mem, l, cfg.sendQueue(), met)
+	snd := newChunkSender(tvm.Mem, cfg, met)
 	// fail unwinds a partial migration: finish the stream, resume the source
 	// enclaves, and tear down the half-built target VM so its guest memory
-	// and any restored enclaves' EPC are returned.
+	// and any restored enclaves' EPC are returned. Stream errors don't
+	// matter anymore — the migration is already failing.
 	fail := func(err error) (*VM, *LiveMigrationStats, error) {
-		snd.drain()
+		_ = snd.drain()
 		vm.OS.CancelMigration()
 		_ = tvm.Shutdown()
 		root.Fail(err)
@@ -360,7 +597,7 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	round0 := vm.Mem.CollectDirty()
 	stats.RoundDirtyPages = append(stats.RoundDirtyPages, len(round0))
 	bulkSp := root.Child("vmm.bulk", telemetry.Int("pages", len(round0)))
-	snd.send(vm.Mem, round0, cfg.chunkPages(), &stats.BulkBytes, bulkSp.Context())
+	snd.send(vm.Mem, round0, cfg.chunkPages(), &stats.BulkBytes, &stats.BulkWireBytes, bulkSp.Context())
 	bulkSp.End()
 	roundHist.Observe(int64(len(round0)) * PageSize)
 
@@ -386,7 +623,7 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 		converged := len(dirty) <= cfg.threshold() || round >= cfg.maxRounds()
 		roundSp := root.Child("vmm.precopy.round",
 			telemetry.Int("round", round), telemetry.Int("pages", len(dirty)))
-		snd.send(vm.Mem, dirty, cfg.chunkPages(), &stats.PreCopyBytes, roundSp.Context())
+		snd.send(vm.Mem, dirty, cfg.chunkPages(), &stats.PreCopyBytes, &stats.PreCopyWireBytes, roundSp.Context())
 		roundSp.End()
 		roundHist.Observe(int64(len(dirty)) * PageSize)
 		if !converged {
@@ -429,10 +666,13 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	final := vm.Mem.CollectDirty()
 	stats.RoundDirtyPages = append(stats.RoundDirtyPages, len(final))
 	scSp := downSp.Child("vmm.stopcopy", telemetry.Int("pages", len(final)))
-	snd.send(vm.Mem, final, cfg.chunkPages(), &stats.StopCopyBytes, scSp.Context())
-	snd.drain()
-	l.transfer(64 * 1024) // device state
-	stats.StopCopyBytes += 64 * 1024
+	snd.send(vm.Mem, final, cfg.chunkPages(), &stats.StopCopyBytes, &stats.StopCopyWireBytes, scSp.Context())
+	snd.sendBlob(64*1024, &stats.StopCopyBytes, &stats.StopCopyWireBytes) // device state
+	if err := snd.drain(); err != nil {
+		err = fmt.Errorf("vmm: page stream: %w", err)
+		scSp.Fail(err)
+		return fail(err)
+	}
 	scSp.End()
 	roundHist.Observe(int64(len(final)) * PageSize)
 
@@ -587,7 +827,14 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	// of truth for the phase timings.
 	stats.Downtime = downSp.Duration() + stats.EnclaveDumpTime - stats.DumpPrecopyOverlap
 	stats.TotalTime = root.Duration()
-	stats.TransferredBytes = l.total()
+	// Logical total partitions exactly into the per-phase counters; the
+	// wire total adds the framed stream's real encoded size to the control
+	// traffic (which has no framed encoding — its estimate counts 1:1).
+	stats.TransferredBytes = stats.BulkBytes + stats.PreCopyBytes + stats.StopCopyBytes + stats.EnclaveCtlBytes
+	stats.WireBytes = stats.BulkWireBytes + stats.PreCopyWireBytes + stats.StopCopyWireBytes + l.total()
+	stats.RawFrames = snd.rawFrames
+	stats.DeltaFrames = snd.deltaFrames
+	stats.DeltaSavedBytes = snd.deltaSaved
 	if met != nil {
 		// Hardware execution counters at migration end; both machines so
 		// AEX storms on either side are visible in /metrics.

@@ -15,9 +15,9 @@ import (
 // whole VM migration — the source VM keeps running with every enclave
 // resumed, the half-built target VM is torn down, and no goroutine stays
 // parked on the dead channel. failAt indexes the source half's transport
-// operations (1 = first image send, 3 = the hello receive during channel
-// setup, 5 = the channel-OK receive) — all before key release, so the
-// migration is still fully cancellable.
+// operations (1 = first image send, 3 = the checkpoint's bulk frame, 5 =
+// the channel message after the hello receive) — all before key release,
+// so the migration is still fully cancellable.
 func TestLiveMigrateEnclaveFaultUnwinds(t *testing.T) {
 	for _, failAt := range []int{1, 3, 5} {
 		t.Run(fmt.Sprintf("failAt=%d", failAt), func(t *testing.T) {

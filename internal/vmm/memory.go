@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/sgx"
 )
 
-// PageSize is the guest page size (matches the EPC page size).
-const PageSize = 4096
+// PageSize is the guest page size (matches the EPC page size and the bulk
+// wire codec's framing granularity).
+const PageSize = core.PageSize
 
 // GuestMemory is a VM's guest-physical memory with per-page dirty tracking,
 // the substrate of iterative pre-copy migration.
@@ -99,6 +101,29 @@ func (g *GuestMemory) ApplyPages(pages []int, src []byte) {
 	for i, p := range pages {
 		copy(g.data[p*PageSize:(p+1)*PageSize], src[i*PageSize:(i+1)*PageSize])
 	}
+}
+
+// ApplyPageDeltas installs a batch of migrated XOR+RLE page deltas (the
+// FrameDelta layout: sizes[i] bytes of delta per page, concatenated in
+// page order) under one lock, XORing each onto the page's current content
+// without marking it dirty. Correct only when this memory holds exactly
+// the content the sender's delta baseline assumed — FIFO application of
+// the migration stream guarantees that.
+func (g *GuestMemory) ApplyPageDeltas(pages, sizes []int, src []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	off := 0
+	for i, p := range pages {
+		if p < 0 || p >= g.pages {
+			return fmt.Errorf("vmm: delta for page %d outside guest memory", p)
+		}
+		sz := sizes[i]
+		if err := core.ApplyXORDelta(g.data[p*PageSize:(p+1)*PageSize], src[off:off+sz]); err != nil {
+			return fmt.Errorf("vmm: apply delta to page %d: %w", p, err)
+		}
+		off += sz
+	}
+	return nil
 }
 
 // CollectDirty returns the currently dirty pages and clears their bits.
