@@ -41,7 +41,9 @@ test:
 # Short coverage-guided runs of the native fuzz targets over the
 # untrusted-input parsers (traceparent headers, MsgImage blobs, page
 # frames). CI runs this budget on every push; longer local runs just
-# raise -fuzztime.
+# raise -fuzztime. Each target starts from its committed seed corpus in
+# <pkg>/testdata/fuzz/ (plain `go test` replays those seeds too);
+# regenerate with REGEN_FUZZ_CORPUS=1 go test -run TestRegenFuzzCorpus.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/telemetry/ -run='^$$' -fuzz=FuzzExtract -fuzztime=$(FUZZTIME)

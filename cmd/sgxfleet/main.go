@@ -1,0 +1,166 @@
+// sgxfleet is the control plane for a fleet of sgxhost daemons: it polls
+// their capacity over OpStats, places new enclaves by a pluggable policy,
+// and schedules mass migrations through a bounded, retrying queue. The
+// controller holds no state of its own — every command re-derives its
+// plan from the daemons' answers, so it can be killed and rerun freely.
+//
+// Usage:
+//
+//	sgxfleet -hosts 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 status
+//	sgxfleet -hosts ...                        place counter 6
+//	sgxfleet -hosts ... [-inflight 4]          drain 127.0.0.1:7001
+//	sgxfleet -hosts ... [-policy packing]      rebalance
+//	sgxfleet -hosts ... [-telemetry-addr :7100] watch
+//
+// drain empties one host, migrating every enclave to peers chosen by the
+// policy, with bounded per-host concurrency and retry-with-backoff on
+// transient faults; rebalance converges the fleet toward the policy's
+// preferred layout; watch polls forever, printing one status block per
+// interval and (with -telemetry-addr) serving the fleet gauges over
+// /metrics. See docs/FLEET.md for the architecture and retry semantics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	hostsFlag := flag.String("hosts", "", "comma-separated sgxhost control addresses (required)")
+	policyFlag := flag.String("policy", "mostfree", "placement policy: mostfree, roundrobin or packing")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, covering a whole migration for migrate-out")
+	inflight := flag.Int("inflight", 2, "max concurrent migrations touching one host (as source or target)")
+	retries := flag.Int("retries", 4, "attempts per migration across transient faults")
+	interval := flag.Duration("interval", 2*time.Second, "watch: poll interval")
+	telAddr := flag.String("telemetry-addr", "", "watch: serve the fleet's /metrics on this address")
+	flag.Parse()
+
+	if *hostsFlag == "" {
+		log.Fatal("sgxfleet: -hosts is required")
+	}
+	if flag.NArg() == 0 {
+		log.Fatal("sgxfleet: need a subcommand: status, place, drain, rebalance or watch")
+	}
+	policy, err := fleet.ParsePolicy(*policyFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	met := telemetry.NewMetrics()
+	f, err := fleet.New(fleet.Config{
+		Hosts:           strings.Split(*hostsFlag, ","),
+		Policy:          policy,
+		RequestTimeout:  *timeout,
+		PerHostInflight: *inflight,
+		MaxAttempts:     *retries,
+		Metrics:         met,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	args := flag.Args()
+	switch args[0] {
+	case "status":
+		// Status tolerates unreachable hosts — seeing which ones are down
+		// is the point — so the poll error is printed, not fatal.
+		if err := f.Poll(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		}
+		printStatus(f)
+	case "place":
+		if len(args) < 2 {
+			log.Fatal("usage: sgxfleet place <image> [count]")
+		}
+		n := 1
+		if len(args) > 2 {
+			if n, err = strconv.Atoi(args[2]); err != nil || n < 1 {
+				log.Fatalf("sgxfleet: bad count %q", args[2])
+			}
+		}
+		placed, err := fleet.Place(f, args[1], n)
+		for _, p := range placed {
+			fmt.Printf("%s\t%s\n", p.Addr, p.ID)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "drain":
+		if len(args) != 2 {
+			log.Fatal("usage: sgxfleet drain <host>")
+		}
+		rep, err := fleet.Drain(f, args[1])
+		printReport(rep)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "rebalance":
+		rep, err := fleet.Rebalance(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printReport(rep)
+	case "watch":
+		if *telAddr != "" {
+			h := telemetry.Handler(nil, met)
+			go func() {
+				if err := http.ListenAndServe(*telAddr, h); err != nil {
+					log.Printf("sgxfleet: telemetry server: %v", err)
+				}
+			}()
+			log.Printf("fleet metrics on http://%s/metrics", *telAddr)
+		}
+		for {
+			if err := f.Poll(); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+			}
+			fmt.Printf("--- %s\n", time.Now().Format(time.RFC3339))
+			printStatus(f)
+			time.Sleep(*interval)
+		}
+	default:
+		log.Fatalf("sgxfleet: unknown subcommand %q", args[0])
+	}
+}
+
+func printStatus(f *fleet.Fleet) {
+	fmt.Printf("%-22s %-8s %-8s %6s %13s %9s\n", "ADDR", "NAME", "STATE", "LIVE", "EPC", "INFLIGHT")
+	for _, st := range f.Snapshot() {
+		state := "up"
+		if !st.Healthy {
+			state = "down"
+		}
+		fmt.Printf("%-22s %-8s %-8s %6d %6d/%-6d %4d/%-4d",
+			st.Addr, st.Stats.Name, state, len(st.Stats.Live),
+			st.Stats.FreeEPC, st.Stats.TotalEPC, st.Stats.InflightIn, st.Stats.InflightOut)
+		if st.Err != "" {
+			fmt.Printf("  %s", st.Err)
+		}
+		fmt.Println()
+		for _, id := range st.Stats.Dead {
+			fmt.Printf("    dead: %s\n", id)
+		}
+	}
+}
+
+func printReport(rep *fleet.Report) {
+	for _, r := range rep.Results {
+		line := fmt.Sprintf("%s\t%s -> %s\t%s\tattempts=%d", r.ID, r.From, r.To, r.Outcome, r.Attempts)
+		if r.NewID != "" {
+			line += "\tnow=" + r.NewID
+		}
+		if r.Err != nil && r.Outcome == fleet.Failed {
+			line += "\terr=" + r.Err.Error()
+		}
+		fmt.Println(line)
+	}
+	fmt.Println(rep.Summary())
+}

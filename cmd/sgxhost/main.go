@@ -2,10 +2,13 @@
 // enclaves from its built-in image registry, execute ecalls on behalf of
 // clients, act as the source of an enclave migration, and accept incoming
 // migrations — the two-machine deployment of the paper driven over TCP.
+// The daemon logic lives in internal/hostd (so tests and sgxfleet
+// benchmarks can run whole in-process fleets); this wrapper only parses
+// flags and binds the sockets.
 //
-// Every party (both hosts and the sgxmigrate client) must share the same
-// -secret: it deterministically derives the enclave owner's keys and the
-// attestation-service identity, standing in for out-of-band key
+// Every party (both hosts and the sgxmigrate/sgxfleet clients) must share
+// the same -secret: it deterministically derives the enclave owner's keys
+// and the attestation-service identity, standing in for out-of-band key
 // distribution. Machine attestation keys are exchanged and registered when
 // hosts first talk to each other.
 //
@@ -29,24 +32,13 @@
 package main
 
 import (
-	"encoding/gob"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"net/http"
-	"sync"
-	"time"
 
-	"repro/internal/attest"
-	"repro/internal/core"
-	"repro/internal/enclave"
-	"repro/internal/hostproto"
-	"repro/internal/sgx"
+	"repro/internal/hostd"
 	"repro/internal/telemetry"
-	"repro/internal/testapps"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -65,65 +57,8 @@ func main() {
 	}
 }
 
-type server struct {
-	mu       sync.Mutex
-	name     string
-	machine  *sgx.Machine
-	host     *enclave.Host
-	service  *attest.Service
-	owner    *core.Owner
-	registry *core.Registry
-	next     int // launch/migrate-in ID counter; guarded by mu
-
-	// sessions is the lock-striped table of live enclave sessions, so
-	// concurrent calls into different enclaves don't serialize on s.mu.
-	sessions *core.SessionTable
-
-	// tr/met are nil unless telemetry is enabled; all uses are nil-safe.
-	tr  *telemetry.Tracer
-	met *telemetry.Metrics
-}
-
-// newServer builds a daemon without binding any sockets, so tests can run
-// server pairs in-process on ephemeral listeners.
-func newServer(name, secret string, epc int) (*server, error) {
-	ids := hostproto.DeriveIdentities(secret)
-	service := attest.NewServiceFromSeed(ids.ServiceSeed)
-	owner := core.NewOwnerFromSeeds(service, ids.SignerSeed, ids.EnclaveSeed, ids.Kencrypt)
-
-	machine, err := sgx.NewMachine(sgx.Config{Name: name, EPCFrames: epc, Quantum: 2000})
-	if err != nil {
-		return nil, err
-	}
-	service.RegisterMachine(machine.AttestationPublic())
-
-	registry := core.NewRegistry()
-	for _, app := range builtinImages(owner) {
-		registry.Add(core.NewDeployment(app, owner))
-	}
-
-	return &server{
-		name:     name,
-		machine:  machine,
-		host:     enclave.NewBareHost(machine),
-		service:  service,
-		owner:    owner,
-		registry: registry,
-		sessions: core.NewSessionTable(),
-	}, nil
-}
-
-// enableTelemetry turns on the tracer and metrics registry with the given
-// head-sampling fraction.
-func (s *server) enableTelemetry(sample float64) {
-	s.tr = telemetry.New()
-	s.tr.SetSampling(sample)
-	s.met = telemetry.NewMetrics()
-	s.host.Mgr.SetMetrics(s.met)
-}
-
 func run(listen, name, secret string, epc int, telAddr string, sample float64) error {
-	s, err := newServer(name, secret, epc)
+	s, err := hostd.New(name, secret, epc)
 	if err != nil {
 		return err
 	}
@@ -134,14 +69,14 @@ func run(listen, name, secret string, epc int, telAddr string, sample float64) e
 	// buffer is a bounded ring (telemetry.DefaultSpanCap), so memory stays
 	// flat no matter how long the daemon runs. -telemetry-addr only
 	// controls whether the buffers are published over HTTP.
-	s.enableTelemetry(sample)
+	s.EnableTelemetry(sample)
 
 	if telAddr != "" {
-		inner := telemetry.Handler(s.tr, s.met)
+		inner := telemetry.Handler(s.Tracer(), s.Metrics())
 		handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			// Hardware counters and session gauges are pull-based:
 			// refresh them per scrape instead of on every ecall.
-			s.refreshGauges()
+			s.RefreshGauges()
 			inner.ServeHTTP(w, r)
 		})
 		go func() {
@@ -156,285 +91,7 @@ func run(listen, name, secret string, epc int, telAddr string, sample float64) e
 	if err != nil {
 		return err
 	}
-	mk := s.machine.AttestationPublic()
+	mk := s.AttestationPublic()
 	log.Printf("sgxhost %s listening on %s (machine key %x...)", name, listen, mk[:6])
-	return s.serveLoop(ln)
-}
-
-// serveLoop accepts connections until the listener closes.
-func (s *server) serveLoop(ln net.Listener) error {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		go s.serve(conn)
-	}
-}
-
-// refreshGauges publishes the pull-only instruments before a scrape.
-func (s *server) refreshGauges() {
-	ee, er, ax := s.machine.ExecCounters()
-	s.met.Gauge("sgx.eenter").Set(int64(ee))
-	s.met.Gauge("sgx.eresume").Set(int64(er))
-	s.met.Gauge("sgx.aex").Set(int64(ax))
-	s.met.Gauge("host.sessions").Set(int64(s.sessions.Len()))
-	s.met.Gauge("epcman.frames.free").Set(int64(s.host.Mgr.FreeFrames()))
-}
-
-// builtinImages is the deployment set every host knows.
-func builtinImages(owner *core.Owner) []*enclave.App {
-	apps := []*enclave.App{
-		testapps.CounterApp(2),
-		testapps.BankApp(2),
-		workload.KVApp(256*1024, 2),
-	}
-	for _, a := range apps {
-		owner.ConfigureApp(a)
-	}
-	return apps
-}
-
-func (s *server) serve(conn net.Conn) {
-	defer conn.Close()
-	// One gob stream per connection, shared with the migration transport:
-	// the transport's binary bulk frames and the handshake's gob messages
-	// interleave on the same buffered reader (see core.NewConnStream).
-	enc, dec, ts := core.NewConnStream(conn)
-	var cmd hostproto.Command
-	if err := dec.Decode(&cmd); err != nil {
-		return
-	}
-	switch cmd.Op {
-	case hostproto.OpMigrateIn:
-		s.handleMigrateIn(ts, dec, enc, cmd)
-	default:
-		resp := s.handle(cmd)
-		_ = enc.Encode(resp)
-	}
-}
-
-// traceContext recovers the caller's trace context from a request; a
-// malformed header degrades to untraced rather than failing the op.
-func traceContext(cmd hostproto.Command) telemetry.Context {
-	ctx, err := telemetry.Extract(cmd.TraceParent)
-	if err != nil {
-		log.Printf("sgxhost: ignoring malformed traceparent %q: %v", cmd.TraceParent, err)
-		return telemetry.Context{}
-	}
-	return ctx
-}
-
-func (s *server) handle(cmd hostproto.Command) hostproto.Response {
-	s.met.Counter("host.ops." + string(cmd.Op)).Inc()
-	ctx := traceContext(cmd)
-	var sp *telemetry.Span
-	var resp hostproto.Response
-	switch cmd.Op {
-	case hostproto.OpLaunch:
-		sp = s.tr.BeginRemote("host.launch", ctx, telemetry.String("image", cmd.Image))
-		resp = s.launch(cmd.Image)
-	case hostproto.OpCall:
-		resp = s.call(cmd)
-	case hostproto.OpList:
-		resp = s.list()
-	case hostproto.OpMigrateOut:
-		sp = s.tr.BeginRemote("host.migrateout", ctx,
-			telemetry.String("enclave", cmd.ID), telemetry.String("target", cmd.Target))
-		resp = s.migrateOut(cmd, sp)
-	default:
-		resp = hostproto.Response{Err: fmt.Sprintf("unknown op %q", cmd.Op)}
-	}
-	if resp.Err != "" {
-		sp.Fail(errors.New(resp.Err))
-	} else {
-		sp.End()
-	}
-	// Return this host's finished spans for the caller's trace (including
-	// any the migration target shipped to us) so the client can merge them.
-	if s.tr != nil && !ctx.TraceID.IsZero() {
-		resp.Trace = s.tr.ExportTrace(ctx.TraceID)
-		resp.Trace.Proc = "sgxhost " + s.name
-	}
-	return resp
-}
-
-func (s *server) launch(image string) hostproto.Response {
-	dep, ok := s.registry.Lookup(image)
-	if !ok {
-		return hostproto.Response{Err: fmt.Sprintf("unknown image %q", image)}
-	}
-	rt, err := enclave.BuildSigned(s.host, dep.App, dep.Sig)
-	if err != nil {
-		return hostproto.Response{Err: err.Error()}
-	}
-	if err := s.owner.Provision(rt); err != nil {
-		_ = rt.Destroy()
-		return hostproto.Response{Err: err.Error()}
-	}
-	s.mu.Lock()
-	s.next++
-	id := fmt.Sprintf("%s-%d", image, s.next)
-	s.mu.Unlock()
-	s.sessions.Add(id, rt)
-	log.Printf("launched %s (enclave %d)", id, rt.EnclaveID())
-	return hostproto.Response{ID: id}
-}
-
-func (s *server) call(cmd hostproto.Command) hostproto.Response {
-	rt, ok := s.sessions.Lookup(cmd.ID)
-	if !ok {
-		return hostproto.Response{Err: fmt.Sprintf("no enclave %q", cmd.ID)}
-	}
-	res, err := rt.ECall(cmd.Worker, cmd.Selector, cmd.Args...)
-	if err != nil {
-		return hostproto.Response{Err: err.Error()}
-	}
-	return hostproto.Response{Regs: res[:]}
-}
-
-func (s *server) list() hostproto.Response {
-	var ids []string
-	s.sessions.Range(func(id string, rt *enclave.Runtime) bool {
-		status := "live"
-		if rt.Dead() {
-			status = "dead"
-		}
-		ids = append(ids, id+" ("+status+")")
-		return true
-	})
-	return hostproto.Response{IDs: ids}
-}
-
-// migrateOut ships one of our enclaves to another sgxhost. The op span sp
-// (may be nil) parents the core migration phases and its context is
-// forwarded to the target host, whose spans come back in a TraceShipment
-// after the core protocol finishes.
-func (s *server) migrateOut(cmd hostproto.Command, sp *telemetry.Span) hostproto.Response {
-	rt, ok := s.sessions.Lookup(cmd.ID)
-	if !ok {
-		return hostproto.Response{Err: fmt.Sprintf("no enclave %q", cmd.ID)}
-	}
-	conn, err := net.Dial("tcp", cmd.Target)
-	if err != nil {
-		return hostproto.Response{Err: err.Error()}
-	}
-	defer conn.Close()
-	enc, dec, ts := core.NewConnStream(conn)
-	if err := enc.Encode(hostproto.Command{
-		Op:          hostproto.OpMigrateIn,
-		ID:          cmd.ID,
-		TraceParent: sp.Context().Inject(),
-	}); err != nil {
-		return hostproto.Response{Err: err.Error()}
-	}
-	// Exchange machine attestation keys so the attestation plumbing works
-	// across processes.
-	if err := enc.Encode(hostproto.MachineKey{Key: s.machine.AttestationPublic()}); err != nil {
-		return hostproto.Response{Err: err.Error()}
-	}
-	var peer hostproto.MachineKey
-	if err := dec.Decode(&peer); err != nil {
-		return hostproto.Response{Err: err.Error()}
-	}
-	s.service.RegisterMachine(peer.Key)
-
-	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met}
-	// The handshake, the migration messages, and the trailing TraceShipment
-	// all ride the one stream NewConnStream owns: a second decoder on the
-	// same conn would lose buffered bytes.
-	rep, err := core.MigrateOut(rt, ts, opts)
-	s.recvTraceShipment(conn, dec, sp, err)
-	if err != nil {
-		s.met.Counter("host.migrations.failed").Inc()
-		return hostproto.Response{Err: err.Error()}
-	}
-	s.met.Counter("host.migrations.out").Inc()
-	log.Printf("migrated %s to %s: prepare=%v dump=%v channel=%v total=%v (%d checkpoint bytes)",
-		cmd.ID, cmd.Target, rep.PrepareTime, rep.DumpTime, rep.ChannelTime, rep.TotalTime, rep.CheckpointBytes)
-	return hostproto.Response{Report: fmt.Sprintf("total=%v checkpoint=%dB", rep.TotalTime, rep.CheckpointBytes)}
-}
-
-// recvTraceShipment reads the target's span buffer off the migration
-// connection and folds it into the local tracer. The target always sends
-// one (empty when untraced), but if it died mid-protocol nothing may
-// come — a read deadline keeps a broken migration from hanging the
-// source, at worst losing the target's half of the trace. When the
-// migration itself failed (migErr non-nil) the stream state is unknown
-// and the client is waiting on the error response, so only a short grace
-// is given for the target's abort-path trailer to arrive.
-func (s *server) recvTraceShipment(conn net.Conn, dec *gob.Decoder, sp *telemetry.Span, migErr error) {
-	if sp == nil {
-		return // telemetry dark: nothing to merge into
-	}
-	deadline := 3 * time.Second
-	if migErr != nil {
-		deadline = 250 * time.Millisecond
-	}
-	_ = conn.SetReadDeadline(time.Now().Add(deadline))
-	defer conn.SetReadDeadline(time.Time{})
-	var ship hostproto.TraceShipment
-	if err := dec.Decode(&ship); err != nil {
-		return
-	}
-	s.tr.Adopt(ship.Trace)
-}
-
-// handleMigrateIn accepts an inbound migration on this connection. ts is
-// the connection's shared-stream transport from core.NewConnStream.
-func (s *server) handleMigrateIn(ts core.Transport, dec *gob.Decoder, enc *gob.Encoder, cmd hostproto.Command) {
-	s.met.Counter("host.ops." + string(cmd.Op)).Inc()
-	ctx := traceContext(cmd)
-	sp := s.tr.BeginRemote("host.migratein", ctx, telemetry.String("enclave", cmd.ID))
-	var peer hostproto.MachineKey
-	if err := dec.Decode(&peer); err != nil {
-		sp.Fail(err)
-		return
-	}
-	s.service.RegisterMachine(peer.Key)
-	if err := enc.Encode(hostproto.MachineKey{Key: s.machine.AttestationPublic()}); err != nil {
-		sp.Fail(err)
-		return
-	}
-	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met}
-	inc, err := core.MigrateIn(s.host, s.registry, ts, opts)
-	if err != nil {
-		sp.Fail(err)
-		s.shipTrace(enc, ctx)
-		s.met.Counter("host.migrations.failed").Inc()
-		log.Printf("inbound migration failed: %v", err)
-		return
-	}
-	s.met.Counter("host.migrations.in").Inc()
-	go func() {
-		for r := range inc.Results {
-			if r.Err != nil {
-				log.Printf("resumed worker %d failed: %v", r.Worker, r.Err)
-			} else {
-				log.Printf("resumed worker %d completed: R0=%d", r.Worker, r.Regs[0])
-			}
-		}
-	}()
-	s.mu.Lock()
-	s.next++
-	id := fmt.Sprintf("%s@%d", cmd.ID, s.next)
-	s.mu.Unlock()
-	s.sessions.Add(id, inc.Runtime)
-	sp.End()
-	s.shipTrace(enc, ctx)
-	log.Printf("accepted migration of %s as %s (restore=%v verify=%v)", cmd.ID, id, inc.RestoreTime, inc.VerifyTime)
-}
-
-// shipTrace sends this host's finished spans for the migration's trace
-// back to the source. Always sent — empty when untraced or telemetry is
-// dark — so the source reads exactly one trailer message. Send errors are
-// ignored: the migration already committed or aborted, only observability
-// is at stake.
-func (s *server) shipTrace(enc *gob.Encoder, ctx telemetry.Context) {
-	var ship hostproto.TraceShipment
-	if s.tr != nil && !ctx.TraceID.IsZero() {
-		ship.Trace = s.tr.ExportTrace(ctx.TraceID)
-		ship.Trace.Proc = "sgxhost " + s.name
-	}
-	_ = enc.Encode(ship)
+	return s.ServeLoop(ln)
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	sgxmig-bench                     # run everything (takes a few minutes)
-//	sgxmig-bench -fig 9a             # one experiment: 9a 9b 9c 9d 10 11 a1 a2 a3 a4 a5
+//	sgxmig-bench -fig 9a             # one experiment: 9a 9b 9c 9d 10 11 a1 a2 a3 a4 a5 a6
 //	sgxmig-bench -quick              # smaller sweeps
 //	sgxmig-bench -trace out.json     # also write a Chrome trace (see docs/TELEMETRY.md)
 package main
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: 9a 9b 9c 9d 10 11 a1 a2 a3 a4 a5 all")
+	fig := flag.String("fig", "all", "experiment to run: 9a 9b 9c 9d 10 11 a1 a2 a3 a4 a5 a6 all")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
 	flag.Parse()
@@ -54,9 +54,9 @@ func main() {
 		"9a": fig9a, "9b": fig9b, "9c": fig9c, "9d": fig9d,
 		"10": fig10, "11": fig11,
 		"a1": ablation1, "a2": ablation2, "a3": ablation3, "a4": ablation4,
-		"a5": ablation5,
+		"a5": ablation5, "a6": ablation6,
 	}
-	order := []string{"9a", "9b", "9c", "9d", "10", "11", "a1", "a2", "a3", "a4", "a5"}
+	order := []string{"9a", "9b", "9c", "9d", "10", "11", "a1", "a2", "a3", "a4", "a5", "a6"}
 
 	which := strings.ToLower(*fig)
 	if which == "all" {
@@ -305,5 +305,29 @@ func ablation5(quick bool) error {
 	fmt.Printf("  wire reduction vs gob: %.2fx (%.1f%% fewer bytes)\n",
 		float64(gob.WireBytes)/float64(delta.WireBytes),
 		100*(1-float64(delta.WireBytes)/float64(gob.WireBytes)))
+	return nil
+}
+
+func ablation6(quick bool) error {
+	header("Ablation A6 — fleet drain time-to-empty vs per-host concurrency",
+		"draining a loaded host through sgxfleet parallelizes across targets until the source's semaphore and EPC accounting serialize it")
+	enclaves := 24
+	concurrency := []int{1, 2, 4, 8}
+	if quick {
+		enclaves = 8
+		concurrency = []int{1, 4}
+	}
+	rows, err := bench.AblationDrain(enclaves, concurrency)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  3 hosts, %d enclaves on the drained host\n", enclaves)
+	fmt.Printf("  %-12s %14s %10s %8s\n", "concurrency", "time-to-empty", "migrated", "passes")
+	base := rows[0].Elapsed
+	for _, r := range rows {
+		fmt.Printf("  %-12d %14v %10d %7d  (%.2fx)\n",
+			r.Concurrency, r.Elapsed.Round(time.Millisecond), r.Moved, r.Passes,
+			float64(base)/float64(r.Elapsed))
+	}
 	return nil
 }

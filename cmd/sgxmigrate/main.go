@@ -23,24 +23,31 @@
 package main
 
 import (
-	"encoding/gob"
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"strconv"
+	"strings"
+	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/hostproto"
 	"repro/internal/telemetry"
 	"repro/internal/testapps"
 )
+
+// timeout bounds every request (dial through response decode); set from
+// -timeout in main. A migrate-out request spans the whole migration, so
+// the default must comfortably cover one; 0 disables the deadline.
+var timeout time.Duration
 
 func main() {
 	from := flag.String("from", "127.0.0.1:7001", "source sgxhost address")
 	to := flag.String("to", "127.0.0.1:7002", "target sgxhost address")
 	image := flag.String("image", "counter", "image to exercise in the demo")
 	traceOut := flag.String("trace", "", "write a merged Chrome trace of the run to this file")
+	flag.DurationVar(&timeout, "timeout", 30*time.Second, "per-request deadline, covering a whole migration for migrate-out (0 disables)")
 	flag.Parse()
 
 	var tr *telemetry.Tracer
@@ -84,33 +91,11 @@ func writeTrace(tr *telemetry.Tracer, path string) error {
 
 // request sends one command, parented under sp when tracing: the host sees
 // the trace context, opens its spans under it, and returns its span buffer
-// in the response for the client to merge.
+// in the response for the client to merge. The transport is
+// fleet.TracedRequest — the same deadline-bounded helper sgxfleet uses —
+// so a wedged daemon fails the CLI at -timeout instead of hanging it.
 func request(tr *telemetry.Tracer, sp *telemetry.Span, addr string, cmd hostproto.Command) (hostproto.Response, error) {
-	rsp := sp.Child("client."+string(cmd.Op), telemetry.String("addr", addr))
-	cmd.TraceParent = rsp.Context().Inject()
-	resp, err := rawRequest(addr, cmd)
-	tr.Adopt(resp.Trace)
-	rsp.Fail(err)
-	return resp, err
-}
-
-func rawRequest(addr string, cmd hostproto.Command) (hostproto.Response, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return hostproto.Response{}, err
-	}
-	defer conn.Close()
-	if err := gob.NewEncoder(conn).Encode(cmd); err != nil {
-		return hostproto.Response{}, err
-	}
-	var resp hostproto.Response
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
-		return hostproto.Response{}, err
-	}
-	if resp.Err != "" {
-		return resp, fmt.Errorf("%s: %s", addr, resp.Err)
-	}
-	return resp, nil
+	return fleet.TracedRequest(tr, sp, addr, cmd, timeout)
 }
 
 func manual(tr *telemetry.Tracer, addr string, args []string) (err error) {
@@ -195,11 +180,15 @@ func demo(tr *telemetry.Tracer, from, to, image string) (err error) {
 	if err != nil {
 		return err
 	}
+	// The target renames the incoming instance to <id>@<n>; match on that
+	// prefix rather than taking the first listing, which on a busy target
+	// (e.g. one sgxfleet already placed enclaves on) is someone else's.
 	var migrated string
 	for _, entry := range listing.IDs {
 		fmt.Printf("   %s\n", entry)
-		if migrated == "" {
-			migrated = entry[:len(entry)-len(" (live)")]
+		name := entry[:len(entry)-len(" (live)")]
+		if migrated == "" && strings.HasPrefix(name, id+"@") {
+			migrated = name
 		}
 	}
 	if migrated == "" {

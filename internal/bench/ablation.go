@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"io"
+	"log"
 	"runtime"
 	"sync"
 	"time"
@@ -10,11 +12,14 @@ import (
 	"repro/internal/attest"
 	"repro/internal/core"
 	"repro/internal/enclave"
+	"repro/internal/fleet"
+	"repro/internal/hostproto"
 	"repro/internal/hwext"
 	"repro/internal/sgx"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/testapps"
+	"repro/internal/testhost"
 	"repro/internal/vmm"
 )
 
@@ -531,4 +536,83 @@ func AblationCodec(enclaves, memPages int, bandwidthBps float64) ([]CodecRow, er
 		})
 	}
 	return rows, nil
+}
+
+// DrainRow is one point of the A6 sweep: emptying a loaded host through
+// the fleet controller at a given per-host migration concurrency.
+type DrainRow struct {
+	Concurrency int
+	Enclaves    int
+	Elapsed     time.Duration
+	Moved       int
+	Passes      int
+}
+
+// AblationDrain (A6) measures drain time-to-empty versus the fleet's
+// per-host concurrency bound. Each point is a fresh 3-daemon fleet over
+// real TCP with every enclave on one host; `sgxfleet drain` must move all
+// of them to the two peers. Migrations from one source serialize on its
+// semaphore, so the sweep shows how much of the drain is parallelizable
+// before the hosts' EPC and scheduling become the bottleneck.
+func AblationDrain(enclaves int, concurrency []int) ([]DrainRow, error) {
+	if enclaves <= 0 {
+		enclaves = 24
+	}
+	if len(concurrency) == 0 {
+		concurrency = []int{1, 2, 4, 8}
+	}
+	// The in-process daemons narrate every launch and migration through the
+	// global logger; hundreds of such lines would bury the table and put
+	// stdout writes inside the timed region.
+	logOut := log.Writer()
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(logOut)
+	var rows []DrainRow
+	for _, c := range concurrency {
+		hosts, err := testhost.StartN(3, testhost.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row, err := drainOnce(hosts, enclaves, c)
+		testhost.CloseAll(hosts)
+		if err != nil {
+			return nil, fmt.Errorf("concurrency %d: %w", c, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func drainOnce(hosts []*testhost.Host, enclaves, concurrency int) (DrainRow, error) {
+	row := DrainRow{Concurrency: concurrency, Enclaves: enclaves}
+	for i := 0; i < enclaves; i++ {
+		resp, err := fleet.Request(hosts[0].Addr, hostproto.Command{Op: hostproto.OpLaunch, Image: "counter"}, 10*time.Second)
+		if err != nil {
+			return row, err
+		}
+		if resp.Err != "" {
+			return row, fmt.Errorf("launch: %s", resp.Err)
+		}
+	}
+	f, err := fleet.New(fleet.Config{
+		Hosts:           testhost.Addrs(hosts),
+		Policy:          &fleet.MostFreeEPC{},
+		RequestTimeout:  30 * time.Second,
+		PerHostInflight: concurrency,
+	})
+	if err != nil {
+		return row, err
+	}
+	start := time.Now()
+	rep, err := fleet.Drain(f, hosts[0].Addr)
+	if err != nil {
+		return row, err
+	}
+	row.Elapsed = time.Since(start)
+	row.Moved = rep.Moved + rep.MovedAfterError
+	row.Passes = rep.Passes
+	if row.Moved != enclaves {
+		return row, fmt.Errorf("drained %d of %d enclaves (%s)", row.Moved, enclaves, rep.Summary())
+	}
+	return row, nil
 }

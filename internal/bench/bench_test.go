@@ -121,3 +121,21 @@ func TestAblationCodecSmoke(t *testing.T) {
 	t.Logf("wire bytes: gob=%d framed=%d framed+delta=%d (saved %d)",
 		gob.WireBytes, framed.WireBytes, delta.WireBytes, delta.DeltaSavedBytes)
 }
+
+func TestAblationDrainSmoke(t *testing.T) {
+	rows, err := AblationDrain(6, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Moved != 6 {
+			t.Fatalf("concurrency %d drained %d of 6 enclaves", r.Concurrency, r.Moved)
+		}
+		if r.Elapsed <= 0 || r.Passes < 1 {
+			t.Fatalf("implausible drain row: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DEFLATE for residual raw pages (FrameRawZ).
+//
+// The delta codec already removes most redundancy between pre-copy
+// rounds, but the pages it passes through raw — first-touch pages and
+// pages whose delta would not shrink — still carry in-page redundancy
+// (zero runs, repeated structures) that a general-purpose compressor
+// recovers. Compression is an optional knob because it trades sender CPU
+// for wire bytes: a win on shaped links, a loss on fast local ones.
+// BestSpeed keeps the sender out of the migration's critical path as much
+// as DEFLATE allows.
+
+// errFlateGrew aborts a compression as soon as its output stops being
+// smaller than the input; the caller falls back to the raw frame.
+var errFlateGrew = errors.New("core: compressed output not smaller than input")
+
+// capWriter appends into a fixed-length pooled buffer and fails the write
+// that would pass max, so a compressor working on incompressible data
+// stops early instead of reallocating away from the pool.
+type capWriter struct {
+	buf []byte
+	max int
+}
+
+func (w *capWriter) Write(p []byte) (int, error) {
+	if len(w.buf)+len(p) > w.max {
+		return 0, errFlateGrew
+	}
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// DeflateRawFrame compresses a FrameRaw's payload into a FrameRawZ
+// carrying the same page list. It returns nil — leaving f untouched for
+// the caller to send as-is — when DEFLATE does not make the payload
+// strictly smaller. On success f's buffer is released and the returned
+// frame owns a pooled buffer (SendFrame or Release returns it).
+func DeflateRawFrame(f *PageFrame) *PageFrame {
+	if f == nil || f.Kind != FrameRaw || len(f.Data) == 0 {
+		return nil
+	}
+	buf := GetBuf(len(f.Data))
+	w := &capWriter{buf: buf[:0], max: len(f.Data) - 1}
+	zw, err := flate.NewWriter(w, flate.BestSpeed)
+	if err != nil {
+		PutBuf(buf)
+		return nil
+	}
+	if _, err := zw.Write(f.Data); err != nil {
+		PutBuf(buf)
+		return nil
+	}
+	if err := zw.Close(); err != nil {
+		PutBuf(buf)
+		return nil
+	}
+	out := &PageFrame{Kind: FrameRawZ, Pages: f.Pages, Data: w.buf, buf: buf}
+	f.Release()
+	return out
+}
+
+// InflateRawFrame decompresses a FrameRawZ back into the FrameRaw it was
+// made from. The payload must decompress to exactly len(Pages)×PageSize
+// bytes — shorter or longer streams are wire corruption. f is consumed
+// (released) whether or not the inflate succeeds; the returned frame owns
+// a pooled buffer the caller must Release.
+func InflateRawFrame(f *PageFrame) (*PageFrame, error) {
+	defer f.Release()
+	if f.Kind != FrameRawZ {
+		return nil, fmt.Errorf("core: inflate of %s frame", f.Kind)
+	}
+	buf := GetBuf(len(f.Pages) * PageSize)
+	zr := flate.NewReader(bytes.NewReader(f.Data))
+	if _, err := io.ReadFull(zr, buf); err != nil {
+		PutBuf(buf)
+		return nil, fmt.Errorf("core: rawz inflate: %w", err)
+	}
+	// The stream must end exactly at the page boundary.
+	var one [1]byte
+	if _, err := io.ReadFull(zr, one[:]); err != io.EOF {
+		PutBuf(buf)
+		return nil, errors.New("core: rawz payload longer than its page list")
+	}
+	_ = zr.Close()
+	return &PageFrame{Kind: FrameRaw, Pages: f.Pages, Data: buf, buf: buf}, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"math/rand"
+	"testing"
+)
+
+// compressiblePages builds a FrameRaw over n pages whose payload DEFLATE
+// can shrink (long zero runs with a sprinkle of structure).
+func compressiblePages(n int) *PageFrame {
+	data := make([]byte, n*PageSize)
+	for i := 0; i < len(data); i += 64 {
+		data[i] = byte(i / 64)
+	}
+	pages := make([]int, n)
+	for i := range pages {
+		pages[i] = i * 3
+	}
+	return &PageFrame{Kind: FrameRaw, Pages: pages, Data: data}
+}
+
+func TestDeflateInflateRoundTrip(t *testing.T) {
+	raw := compressiblePages(4)
+	want := append([]byte(nil), raw.Data...)
+	z := DeflateRawFrame(raw)
+	if z == nil {
+		t.Fatalf("DeflateRawFrame declined compressible pages")
+	}
+	if z.Kind != FrameRawZ {
+		t.Fatalf("kind = %v, want rawz", z.Kind)
+	}
+	if len(z.Data) >= len(want) {
+		t.Fatalf("compressed %d bytes to %d — not smaller", len(want), len(z.Data))
+	}
+	// The frame must survive the wire codec like any other kind.
+	enc := AppendFrame(nil, z)
+	dec, _, err := DecodeFrame(enc)
+	if err != nil {
+		t.Fatalf("DecodeFrame(rawz): %v", err)
+	}
+	got, err := InflateRawFrame(dec)
+	if err != nil {
+		t.Fatalf("InflateRawFrame: %v", err)
+	}
+	if got.Kind != FrameRaw {
+		t.Fatalf("inflated kind = %v, want raw", got.Kind)
+	}
+	if !bytes.Equal(got.Data, want) {
+		t.Fatalf("inflate did not restore the original payload")
+	}
+	for i, p := range z.Pages {
+		if got.Pages[i] != p {
+			t.Fatalf("inflated pages %v, want %v", got.Pages, z.Pages)
+		}
+	}
+	got.Release()
+	z.Release() // already released by the codec path; must be a no-op
+}
+
+func TestDeflateDeclines(t *testing.T) {
+	// Incompressible payload: DEFLATE output would grow, so the helper
+	// must return nil and leave the input frame intact for raw sending.
+	rng := rand.New(rand.NewSource(42))
+	raw := &PageFrame{Kind: FrameRaw, Pages: []int{0}, Data: make([]byte, PageSize)}
+	rng.Read(raw.Data)
+	if z := DeflateRawFrame(raw); z != nil {
+		t.Fatalf("DeflateRawFrame compressed random bytes to %d < %d?", len(z.Data), PageSize)
+	}
+	if len(raw.Data) != PageSize || raw.Kind != FrameRaw {
+		t.Fatalf("declined frame was mutated: %+v", raw)
+	}
+	// Non-raw and empty frames are passed over, not errors.
+	if z := DeflateRawFrame(&PageFrame{Kind: FrameDelta, Pages: []int{1}, Sizes: []int{1}, Data: []byte{1}}); z != nil {
+		t.Fatalf("deflated a delta frame")
+	}
+	if z := DeflateRawFrame(nil); z != nil {
+		t.Fatalf("deflated nil")
+	}
+}
+
+// deflateBytes is a test helper producing a valid DEFLATE stream of b.
+func deflateBytes(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestInflateRejectsHostileStreams(t *testing.T) {
+	onePage := deflateBytes(t, make([]byte, PageSize))
+	cases := []struct {
+		name string
+		f    *PageFrame
+	}{
+		{"wrong kind", &PageFrame{Kind: FrameRaw, Pages: []int{0}, Data: make([]byte, PageSize)}},
+		{"not a flate stream", &PageFrame{Kind: FrameRawZ, Pages: []int{0}, Data: []byte{0xFF, 0xFF, 0xFF}}},
+		// Stream decompresses to one page but the frame claims two: the
+		// reader hits EOF short of the page boundary.
+		{"stream shorter than page list", &PageFrame{Kind: FrameRawZ, Pages: []int{0, 1}, Data: onePage}},
+		// Stream decompresses to three pages but the frame claims two:
+		// trailing decompressed bytes are wire corruption, not padding.
+		{"stream longer than page list", &PageFrame{Kind: FrameRawZ, Pages: []int{0, 1}, Data: deflateBytes(t, make([]byte, 3*PageSize))}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got, err := InflateRawFrame(tc.f); err == nil {
+				got.Release()
+				t.Fatal("inflated hostile frame")
+			}
+		})
+	}
+}

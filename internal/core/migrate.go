@@ -413,6 +413,7 @@ func (ps *PreparedSource) Release() (_ SourceReport, err error) {
 			return ps.rep, err
 		}
 		released = true
+		src.MarkDead()
 		if err = opts.Agent.InstallKey(sealedKey); err != nil {
 			return ps.rep, fmt.Errorf("core: agent install key: %w", err)
 		}
@@ -429,6 +430,11 @@ func (ps *PreparedSource) Release() (_ SourceReport, err error) {
 			return ps.rep, fmt.Errorf("core: key release: %w", err)
 		}
 		released = true
+		// The enclave destroyed itself inside the release call (destroy
+		// strictly before key-out); record it now so the host's failure
+		// handling sees the instance as gone even though the call that
+		// killed it returned normally.
+		src.MarkDead()
 		if sealedKey, err = src.ReadShared(enclave.SharedReqOff, res[0]); err != nil {
 			return ps.rep, err
 		}

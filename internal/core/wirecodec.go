@@ -42,6 +42,7 @@ const (
 	FrameGob                        // gob-encoded page chunk (A5 baseline codec)
 	FrameBlob                       // opaque bulk segment (checkpoint, device state)
 	FrameEnd                        // stream terminator, no payload
+	FrameRawZ                       // DEFLATE-compressed full pages (optional, residual raw pages only)
 )
 
 func (k FrameKind) String() string {
@@ -56,6 +57,8 @@ func (k FrameKind) String() string {
 		return "blob"
 	case FrameEnd:
 		return "end"
+	case FrameRawZ:
+		return "rawz"
 	default:
 		return fmt.Sprintf("FrameKind(%d)", uint8(k))
 	}
@@ -245,7 +248,7 @@ func decodeFrameBody(body []byte) (*PageFrame, error) {
 	}
 	f := &PageFrame{Kind: FrameKind(body[0])}
 	switch f.Kind {
-	case FrameRaw, FrameDelta, FrameGob, FrameBlob, FrameEnd:
+	case FrameRaw, FrameDelta, FrameGob, FrameBlob, FrameEnd, FrameRawZ:
 	default:
 		return nil, fmt.Errorf("core: unknown frame kind %d", body[0])
 	}
@@ -259,7 +262,7 @@ func decodeFrameBody(body []byte) (*PageFrame, error) {
 		return nil, fmt.Errorf("core: frame claims %d pages, cap is %d", npages, maxFramePages)
 	}
 	if npages > 0 {
-		if f.Kind != FrameRaw && f.Kind != FrameDelta {
+		if f.Kind != FrameRaw && f.Kind != FrameDelta && f.Kind != FrameRawZ {
 			return nil, fmt.Errorf("core: %s frame carries page numbers", f.Kind)
 		}
 		f.Pages = make([]int, npages)
@@ -315,6 +318,15 @@ func decodeFrameBody(body []byte) (*PageFrame, error) {
 	case FrameEnd:
 		if len(rest) != 0 {
 			return nil, errors.New("core: end frame carries payload")
+		}
+	case FrameRawZ:
+		// Senders only compress when it shrinks the payload, so a valid
+		// body is non-empty and strictly smaller than the raw pages.
+		if len(f.Pages) == 0 {
+			return nil, errors.New("core: rawz frame without pages")
+		}
+		if len(rest) == 0 || len(rest) >= len(f.Pages)*PageSize {
+			return nil, fmt.Errorf("core: rawz frame has %d data bytes for %d pages", len(rest), len(f.Pages))
 		}
 	}
 	f.Data = rest

@@ -16,6 +16,10 @@ func testFrames() []*PageFrame {
 	return []*PageFrame{
 		raw,
 		{Kind: FrameDelta, Pages: []int{0, 5, 6}, Sizes: []int{3, 0, 2}, Data: []byte{1, 2, 3, 9, 8}},
+		// The codec layer does not care whether a rawz body is a real
+		// DEFLATE stream, only that it is non-empty and smaller than the
+		// pages it claims to carry.
+		{Kind: FrameRawZ, Pages: []int{2, 9}, Data: []byte("compressed page bytes")},
 		{Kind: FrameGob, Data: []byte("gob-encoded chunk payload")},
 		{Kind: FrameBlob, Data: bytes.Repeat([]byte{0xAB}, 1024)},
 		{Kind: FrameEnd},
@@ -118,6 +122,9 @@ func TestDecodeFrameRejects(t *testing.T) {
 		{"raw size mismatch", AppendFrame(nil, &PageFrame{Kind: FrameRaw, Pages: []int{1}, Data: make([]byte, 10)})},
 		{"delta size over page", AppendFrame(nil, &PageFrame{Kind: FrameDelta, Pages: []int{1}, Sizes: []int{PageSize + 1}, Data: make([]byte, PageSize+1)})},
 		{"delta sizes sum mismatch", AppendFrame(nil, &PageFrame{Kind: FrameDelta, Pages: []int{1}, Sizes: []int{4}, Data: make([]byte, 7)})},
+		{"rawz without pages", AppendFrame(nil, &PageFrame{Kind: FrameRawZ, Data: []byte{1, 2, 3}})},
+		{"rawz empty body", AppendFrame(nil, &PageFrame{Kind: FrameRawZ, Pages: []int{1}})},
+		{"rawz body not smaller than pages", AppendFrame(nil, &PageFrame{Kind: FrameRawZ, Pages: []int{1}, Data: make([]byte, PageSize)})},
 		{"oversized length prefix", binary.LittleEndian.AppendUint32(nil, maxFrameBody+1)},
 		{"too many pages", body(append([]byte{byte(FrameRaw)}, binary.AppendUvarint(nil, maxFramePages+1)...)...)},
 	}

@@ -434,6 +434,16 @@ func WithShared(mem sgx.OutsideMemory) BuildOption {
 // Dead reports whether the enclave has self-destroyed.
 func (rt *Runtime) Dead() bool { return rt.dead.Load() }
 
+// MarkDead records an out-of-band observation that the enclave has
+// self-destroyed. The flag normally flips when an entry attempt returns
+// codeDead — one call too late for a protocol that knows the enclave
+// destroyed itself during a call that returned normally (key release:
+// destroy strictly precedes key-out). Marking at the commit point lets
+// the host tell a cancelled migration (enclave resumed) from a
+// committed-then-failed one (instance gone) without probing a dead
+// enclave.
+func (rt *Runtime) MarkDead() { rt.dead.Store(true) }
+
 // WriteShared writes protocol bytes into the shared request area.
 func (rt *Runtime) WriteShared(off uint64, b []byte) error { return rt.shared.Store(off, b) }
 

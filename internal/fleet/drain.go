@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hostproto"
+)
+
+// Report summarizes one control-plane operation (drain, rebalance) over
+// its per-migration results.
+type Report struct {
+	// Passes counts plan/execute rounds: drains re-poll and re-plan until
+	// the source is empty, so retried work shows up as extra passes.
+	Passes  int
+	Results []Result
+	// Outcome tallies over Results.
+	Moved, MovedAfterError, Lost, Failed int
+}
+
+func (r *Report) add(results []Result) {
+	r.Results = append(r.Results, results...)
+	for _, res := range results {
+		switch res.Outcome {
+		case Moved:
+			r.Moved++
+		case MovedAfterError:
+			r.MovedAfterError++
+		case Lost:
+			r.Lost++
+		case Failed:
+			r.Failed++
+		}
+	}
+}
+
+// Summary is a one-line human rendering of the tallies.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("passes=%d moved=%d moved-after-error=%d lost=%d failed=%d",
+		r.Passes, r.Moved, r.MovedAfterError, r.Lost, r.Failed)
+}
+
+// Drain empties the named host: every live enclave is migrated to peers
+// chosen by the placement policy, under the per-host concurrency caps.
+// It re-polls and re-plans until the source reports no live enclaves,
+// so instances that survive a failed pass (still on the source) are
+// picked up again, and it stops with an error only when a full pass
+// makes no progress — out of capacity, or a permanently failing host.
+// Lost instances (the protocol's accepted loss window) do not fail the
+// drain; they are tallied in the report.
+func Drain(f *Fleet, source string) (*Report, error) {
+	if _, ok := f.hosts[source]; !ok {
+		return nil, fmt.Errorf("fleet: drain: unknown host %s", source)
+	}
+	rep := &Report{}
+	for {
+		if err := f.Poll(); err != nil {
+			// Peers may keep working while one host is down, but the
+			// source itself must answer: without its session list there
+			// is nothing to plan from.
+			if !f.hostHealthy(source) {
+				return rep, fmt.Errorf("fleet: drain %s: %w", source, err)
+			}
+		}
+		view := f.view()
+		var src *HostView
+		var cands []*HostView
+		for _, v := range view {
+			if v.Addr == source {
+				src = v
+			} else {
+				cands = append(cands, v)
+			}
+		}
+		if src == nil {
+			return rep, fmt.Errorf("fleet: drain %s: host unhealthy", source)
+		}
+		if len(src.LiveIDs) == 0 {
+			return rep, nil
+		}
+		est := frameEstimate(view)
+		var plan []Migration
+		for _, id := range src.LiveIDs {
+			tgt, ok := f.policy.Pick(cands, est)
+			if !ok {
+				break // no capacity left this pass; move what fits
+			}
+			plan = append(plan, Migration{ID: id, From: source, To: tgt.Addr})
+			tgt.LiveIDs = append(tgt.LiveIDs, id)
+			tgt.FreeEPC -= est
+		}
+		if len(plan) == 0 {
+			return rep, fmt.Errorf("fleet: drain %s: %d enclaves remain but no peer has capacity", source, len(src.LiveIDs))
+		}
+		rep.Passes++
+		results := Execute(f, plan)
+		rep.add(results)
+		if !progressed(results) {
+			return rep, fmt.Errorf("fleet: drain %s: pass %d made no progress (%s)", source, rep.Passes, rep.Summary())
+		}
+	}
+}
+
+// progressed reports whether any migration in results reached a terminal
+// off-source state (moved or lost): all-Failed passes will not converge.
+func progressed(results []Result) bool {
+	for _, r := range results {
+		if r.Outcome != Failed {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Fleet) hostHealthy(addr string) bool {
+	h, ok := f.hosts[addr]
+	if !ok {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.healthy
+}
+
+// Rebalance converges the fleet toward the policy's preferred layout:
+// one poll, one policy plan, one bounded execution. Run it repeatedly
+// (or after every drain) to keep converging as conditions change; an
+// empty plan means the fleet is already where the policy wants it.
+func Rebalance(f *Fleet) (*Report, error) {
+	if err := f.Poll(); err != nil {
+		return nil, err
+	}
+	view := f.view()
+	if len(view) == 0 {
+		return nil, fmt.Errorf("fleet: rebalance: no healthy hosts")
+	}
+	plan := f.policy.Rebalance(view, frameEstimate(view))
+	rep := &Report{}
+	if len(plan) == 0 {
+		return rep, nil
+	}
+	rep.Passes = 1
+	rep.add(Execute(f, plan))
+	return rep, nil
+}
+
+// Placement records where Place put one enclave.
+type Placement struct {
+	Addr string
+	ID   string
+}
+
+// Place launches n instances of image, each on the host the policy
+// prefers given the freshest stats; views are re-accounted between picks
+// so a burst spreads out instead of piling onto one machine. Launches
+// are sequential: placement is cheap next to migration, and sequencing
+// keeps the accounting exact.
+func Place(f *Fleet, image string, n int) ([]Placement, error) {
+	if err := f.Poll(); err != nil {
+		return nil, err
+	}
+	view := f.view()
+	if len(view) == 0 {
+		return nil, fmt.Errorf("fleet: place: no healthy hosts")
+	}
+	sort.Slice(view, func(i, j int) bool { return view[i].Addr < view[j].Addr })
+	est := frameEstimate(view)
+	var placed []Placement
+	for i := 0; i < n; i++ {
+		tgt, ok := f.policy.Pick(view, est)
+		if !ok {
+			return placed, fmt.Errorf("fleet: place: no host has capacity for instance %d of %d", i+1, n)
+		}
+		resp, err := f.request(nil, tgt.Addr, hostproto.Command{Op: hostproto.OpLaunch, Image: image})
+		if err != nil {
+			return placed, fmt.Errorf("fleet: place on %s: %w", tgt.Addr, err)
+		}
+		placed = append(placed, Placement{Addr: tgt.Addr, ID: resp.ID})
+		tgt.LiveIDs = append(tgt.LiveIDs, resp.ID)
+		tgt.FreeEPC -= est
+	}
+	return placed, nil
+}

@@ -1,0 +1,307 @@
+// Package fleet is the control plane over a set of sgxhost daemons: it
+// polls their capacity over hostproto.OpStats, places new enclaves by a
+// pluggable policy, and schedules mass migrations (drain, rebalance)
+// through a bounded, retrying queue. The fleet controller itself holds no
+// enclave state — every decision is recomputed from the daemons' own
+// answers, so a crashed controller can be restarted with the same flags
+// and converge to the same place.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/hostproto"
+	"repro/internal/telemetry"
+)
+
+// Config describes a fleet and how aggressively to move it. The zero
+// value of each knob selects the default noted on the field.
+type Config struct {
+	// Hosts are the sgxhost control addresses under management.
+	Hosts []string
+	// Policy places enclaves (default MostFreeEPC).
+	Policy Policy
+	// RequestTimeout bounds each control request, including the blocking
+	// OpMigrateOut call that performs a whole migration (default 10s).
+	RequestTimeout time.Duration
+	// PerHostInflight caps concurrent migrations touching one host as
+	// source or target (default 2). EPC pressure and wire bandwidth are
+	// per-machine resources; the cap is what makes a 24-enclave drain a
+	// rolling wave instead of a thundering herd.
+	PerHostInflight int
+	// MaxAttempts is the per-migration attempt budget across transient
+	// failures (default 4).
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential retry backoff:
+	// base*2^(attempt-1) plus up to 50% seeded jitter, capped at max
+	// (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed feeds the jitter RNG so fault-sweep tests replay identically
+	// (default 1).
+	Seed uint64
+	// Metrics receives the fleet gauges and counters; nil disables.
+	Metrics *telemetry.Metrics
+	// Tracer parents a client span over each control request; nil
+	// disables.
+	Tracer *telemetry.Tracer
+}
+
+func (c Config) timeout() time.Duration {
+	if c.RequestTimeout == 0 {
+		return 10 * time.Second
+	}
+	return c.RequestTimeout
+}
+
+func (c Config) inflight() int {
+	if c.PerHostInflight == 0 {
+		return 2
+	}
+	return c.PerHostInflight
+}
+
+func (c Config) attempts() int {
+	if c.MaxAttempts == 0 {
+		return 4
+	}
+	return c.MaxAttempts
+}
+
+func (c Config) backoffBase() time.Duration {
+	if c.BackoffBase == 0 {
+		return 50 * time.Millisecond
+	}
+	return c.BackoffBase
+}
+
+func (c Config) backoffMax() time.Duration {
+	if c.BackoffMax == 0 {
+		return 2 * time.Second
+	}
+	return c.BackoffMax
+}
+
+// hostState is the fleet's record of one daemon.
+type hostState struct {
+	addr string
+	// sem bounds migrations touching this host (source or target side);
+	// buffered to Config.PerHostInflight.
+	sem chan struct{}
+
+	mu      sync.Mutex
+	stats   hostproto.HostStats // guarded by mu: last successful poll
+	healthy bool                // guarded by mu: last poll succeeded
+	lastErr error               // guarded by mu: last poll failure
+}
+
+// Fleet is the control-plane handle. Safe for concurrent use; all
+// mutable state is per-host under its own lock or atomic.
+type Fleet struct {
+	cfg    Config
+	policy Policy
+	hosts  map[string]*hostState
+	order  []string // sorted host addresses
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // guarded by rngMu: backoff jitter
+
+	queueDepth *telemetry.Gauge
+	retries    *telemetry.Counter
+	healthyG   *telemetry.Gauge
+}
+
+// New validates cfg and builds the controller. It performs no I/O: the
+// first Poll populates the host views.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("fleet: no hosts configured")
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = &MostFreeEPC{}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	f := &Fleet{
+		cfg:    cfg,
+		policy: pol,
+		hosts:  make(map[string]*hostState, len(cfg.Hosts)),
+		rng:    rand.New(rand.NewSource(int64(seed))),
+	}
+	for _, addr := range cfg.Hosts {
+		if addr == "" {
+			return nil, fmt.Errorf("fleet: empty host address")
+		}
+		if _, dup := f.hosts[addr]; dup {
+			return nil, fmt.Errorf("fleet: duplicate host %s", addr)
+		}
+		f.hosts[addr] = &hostState{addr: addr, sem: make(chan struct{}, cfg.inflight())}
+		f.order = append(f.order, addr)
+	}
+	sort.Strings(f.order)
+	if m := cfg.Metrics; m != nil {
+		f.queueDepth = m.Gauge("fleet.queue.depth")
+		f.retries = m.Counter("fleet.retries")
+		f.healthyG = m.Gauge("fleet.hosts.healthy")
+	}
+	return f, nil
+}
+
+// Policy returns the active placement policy.
+func (f *Fleet) Policy() Policy { return f.policy }
+
+// Hosts returns the managed addresses in sorted order.
+func (f *Fleet) Hosts() []string { return append([]string(nil), f.order...) }
+
+// Poll refreshes every host's stats concurrently and returns the first
+// error (all hosts are still polled). A host whose poll fails keeps its
+// last stats but is marked unhealthy and excluded from placement until a
+// poll succeeds again.
+func (f *Fleet) Poll() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(f.order))
+	for i, addr := range f.order {
+		wg.Add(1)
+		go func(i int, h *hostState) {
+			defer wg.Done()
+			resp, err := f.request(nil, h.addr, hostproto.Command{Op: hostproto.OpStats})
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			if err != nil {
+				h.healthy = false
+				h.lastErr = err
+				errs[i] = fmt.Errorf("poll %s: %w", h.addr, err)
+				return
+			}
+			h.stats = resp.Stats
+			h.healthy = true
+			h.lastErr = nil
+		}(i, f.hosts[addr])
+	}
+	wg.Wait()
+	healthy := int64(0)
+	for _, addr := range f.order {
+		h := f.hosts[addr]
+		h.mu.Lock()
+		if h.healthy {
+			healthy++
+		}
+		h.mu.Unlock()
+	}
+	f.healthyG.Set(healthy)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HostStatus is one row of Snapshot: the last known stats plus health.
+type HostStatus struct {
+	Addr    string
+	Healthy bool
+	Err     string
+	Stats   hostproto.HostStats
+}
+
+// Snapshot returns the last polled state of every host, sorted by
+// address. It does not perform I/O; call Poll first.
+func (f *Fleet) Snapshot() []HostStatus {
+	out := make([]HostStatus, 0, len(f.order))
+	for _, addr := range f.order {
+		h := f.hosts[addr]
+		h.mu.Lock()
+		st := HostStatus{Addr: addr, Healthy: h.healthy, Stats: h.stats}
+		if h.lastErr != nil {
+			st.Err = h.lastErr.Error()
+		}
+		h.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+// view materializes the planner's working copy of the fleet: one
+// HostView per healthy host, deep-copied so planners can mutate freely.
+func (f *Fleet) view() []*HostView {
+	var out []*HostView
+	for _, addr := range f.order {
+		h := f.hosts[addr]
+		h.mu.Lock()
+		if h.healthy {
+			out = append(out, &HostView{
+				Addr:     addr,
+				LiveIDs:  append([]string(nil), h.stats.Live...),
+				FreeEPC:  h.stats.FreeEPC,
+				TotalEPC: h.stats.TotalEPC,
+				Inflight: h.stats.InflightIn + h.stats.InflightOut,
+			})
+		}
+		h.mu.Unlock()
+	}
+	return out
+}
+
+// frameEstimate guesses the EPC frames one enclave needs from the polled
+// occupancy: used frames divided by live enclaves, fleet-wide, minimum 1.
+// The epcman VA page and rounding make this an overestimate, which is the
+// safe direction for capacity checks.
+func frameEstimate(view []*HostView) int {
+	used, live := 0, 0
+	for _, v := range view {
+		used += v.TotalEPC - v.FreeEPC
+		live += v.Live()
+	}
+	if live == 0 {
+		return 1
+	}
+	est := (used + live - 1) / live
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// request performs one control request, traced when the fleet has a
+// tracer. sp may be nil.
+func (f *Fleet) request(sp *telemetry.Span, addr string, cmd hostproto.Command) (hostproto.Response, error) {
+	if f.cfg.Tracer != nil {
+		return TracedRequest(f.cfg.Tracer, sp, addr, cmd, f.cfg.timeout())
+	}
+	return Request(addr, cmd, f.cfg.timeout())
+}
+
+// jitter returns a seeded random duration in [0, d/2).
+func (f *Fleet) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return 0
+	}
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return time.Duration(f.rng.Int63n(int64(d / 2)))
+}
+
+// backoff computes the sleep before retry attempt n (1-based count of
+// failures so far): base*2^(n-1) + jitter, capped at max.
+func (f *Fleet) backoff(n int) time.Duration {
+	d := f.cfg.backoffBase()
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= f.cfg.backoffMax() {
+			d = f.cfg.backoffMax()
+			break
+		}
+	}
+	if d > f.cfg.backoffMax() {
+		d = f.cfg.backoffMax()
+	}
+	return d + f.jitter(d)
+}

@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// HostView is one host's state as a planner sees it. Planners work on
+// copies and mutate them as they assign enclaves (decrementing FreeEPC,
+// growing Live), so a multi-enclave plan spreads load instead of sending
+// everything to the host that looked best at poll time.
+type HostView struct {
+	Addr     string
+	LiveIDs  []string
+	FreeEPC  int
+	TotalEPC int
+	Inflight int
+}
+
+// Live is the number of running enclaves in the view.
+func (v *HostView) Live() int { return len(v.LiveIDs) }
+
+// Policy decides where enclaves go. Implementations must be safe for
+// concurrent use (RoundRobin keeps a cursor).
+type Policy interface {
+	// Name is the flag-friendly policy identifier.
+	Name() string
+	// Pick selects a target among cands for one enclave needing an
+	// estimated est EPC frames, or ok=false when no candidate has room.
+	// Callers exclude the source host from cands and account the pick
+	// into the chosen view before the next call.
+	Pick(cands []*HostView, est int) (*HostView, bool)
+	// Rebalance plans the migrations that converge view toward the
+	// policy's preferred layout; an empty plan means converged. est is
+	// the per-enclave EPC frame estimate used for capacity checks.
+	Rebalance(view []*HostView, est int) []Migration
+}
+
+// ParsePolicy maps a policy name (mostfree, roundrobin, packing) to its
+// implementation.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "mostfree":
+		return &MostFreeEPC{}, nil
+	case "roundrobin":
+		return &RoundRobin{}, nil
+	case "packing":
+		return &Packing{}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown policy %q (want mostfree, roundrobin or packing)", name)
+}
+
+// MostFreeEPC (the default) sends each enclave to the host with the most
+// free EPC frames, ties broken by address — the load-leveling choice under
+// EPC pressure. Rebalance evens out live-enclave counts.
+type MostFreeEPC struct{}
+
+// Name implements Policy.
+func (*MostFreeEPC) Name() string { return "mostfree" }
+
+// Pick implements Policy.
+func (*MostFreeEPC) Pick(cands []*HostView, est int) (*HostView, bool) {
+	var best *HostView
+	for _, c := range cands {
+		if c.FreeEPC < est {
+			continue
+		}
+		if best == nil || c.FreeEPC > best.FreeEPC || (c.FreeEPC == best.FreeEPC && c.Addr < best.Addr) {
+			best = c
+		}
+	}
+	return best, best != nil
+}
+
+// Rebalance implements Policy.
+func (p *MostFreeEPC) Rebalance(view []*HostView, est int) []Migration {
+	return spreadPlan(view, est, p)
+}
+
+// RoundRobin cycles through the candidate hosts in address order,
+// skipping hosts without room. Rebalance evens out live-enclave counts.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int // guarded by mu
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "roundrobin" }
+
+// Pick implements Policy.
+func (r *RoundRobin) Pick(cands []*HostView, est int) (*HostView, bool) {
+	if len(cands) == 0 {
+		return nil, false
+	}
+	ordered := append([]*HostView(nil), cands...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Addr < ordered[j].Addr })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < len(ordered); i++ {
+		c := ordered[(r.next+i)%len(ordered)]
+		if c.FreeEPC >= est {
+			r.next = (r.next + i + 1) % len(ordered)
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Rebalance implements Policy.
+func (r *RoundRobin) Rebalance(view []*HostView, est int) []Migration {
+	return spreadPlan(view, est, r)
+}
+
+// Packing fills the fullest host that still fits each enclave, leaving
+// the emptiest hosts free to be powered down or drained — the
+// consolidation choice. Rebalance moves enclaves off the least-loaded
+// hosts onto fuller ones while they have EPC room.
+type Packing struct{}
+
+// Name implements Policy.
+func (*Packing) Name() string { return "packing" }
+
+// Pick implements Policy.
+func (*Packing) Pick(cands []*HostView, est int) (*HostView, bool) {
+	var best *HostView
+	for _, c := range cands {
+		if c.FreeEPC < est {
+			continue
+		}
+		if best == nil || c.FreeEPC < best.FreeEPC || (c.FreeEPC == best.FreeEPC && c.Addr < best.Addr) {
+			best = c
+		}
+	}
+	return best, best != nil
+}
+
+// Rebalance implements Policy: repeatedly empty the least-loaded
+// non-empty host into at-least-as-loaded hosts with room. A donor that
+// cannot place all its enclaves keeps the remainder. Termination: every
+// move sends an enclave from the current minimum to a host holding at
+// least as many, so the layout's sum of squared counts strictly
+// increases, and it is bounded — no slosh, no livelock.
+func (p *Packing) Rebalance(view []*HostView, est int) []Migration {
+	var plan []Migration
+	for {
+		var donor *HostView
+		for _, v := range view {
+			if v.Live() == 0 {
+				continue
+			}
+			if donor == nil || v.Live() < donor.Live() || (v.Live() == donor.Live() && v.Addr > donor.Addr) {
+				donor = v
+			}
+		}
+		if donor == nil {
+			return plan
+		}
+		moved := false
+		for len(donor.LiveIDs) > 0 {
+			var cands []*HostView
+			for _, v := range view {
+				if v != donor && v.Live() >= donor.Live() {
+					cands = append(cands, v)
+				}
+			}
+			tgt, ok := p.Pick(cands, est)
+			if !ok {
+				break
+			}
+			id := donor.LiveIDs[0]
+			donor.LiveIDs = donor.LiveIDs[1:]
+			plan = append(plan, Migration{ID: id, From: donor.Addr, To: tgt.Addr})
+			tgt.LiveIDs = append(tgt.LiveIDs, id)
+			tgt.FreeEPC -= est
+			donor.FreeEPC += est
+			moved = true
+		}
+		if !moved || len(donor.LiveIDs) > 0 {
+			return plan
+		}
+	}
+}
+
+// spreadPlan evens live-enclave counts across hosts: while the fullest
+// and emptiest host differ by 2 or more, move one enclave between them
+// (targets are picked via the policy among the under-loaded hosts, so
+// MostFreeEPC also weighs EPC headroom). Differ-by-one layouts are
+// already as even as integer counts allow.
+func spreadPlan(view []*HostView, est int, pol Policy) []Migration {
+	var plan []Migration
+	for {
+		var max *HostView
+		for _, v := range view {
+			if max == nil || v.Live() > max.Live() || (v.Live() == max.Live() && v.Addr < max.Addr) {
+				max = v
+			}
+		}
+		if max == nil {
+			return plan
+		}
+		var cands []*HostView
+		for _, v := range view {
+			if v != max && v.Live() <= max.Live()-2 {
+				cands = append(cands, v)
+			}
+		}
+		tgt, ok := pol.Pick(cands, est)
+		if !ok {
+			return plan
+		}
+		id := max.LiveIDs[0]
+		max.LiveIDs = max.LiveIDs[1:]
+		plan = append(plan, Migration{ID: id, From: max.Addr, To: tgt.Addr})
+		tgt.LiveIDs = append(tgt.LiveIDs, id)
+		tgt.FreeEPC -= est
+		max.FreeEPC += est
+	}
+}

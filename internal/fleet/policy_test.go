@@ -1,0 +1,204 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func view(addr string, free, total int, ids ...string) *HostView {
+	return &HostView{Addr: addr, LiveIDs: ids, FreeEPC: free, TotalEPC: total}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]string{
+		"":           "mostfree",
+		"mostfree":   "mostfree",
+		"roundrobin": "roundrobin",
+		"packing":    "packing",
+	} {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("ParsePolicy(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatalf("ParsePolicy(bogus) succeeded")
+	}
+}
+
+func TestMostFreeEPCPick(t *testing.T) {
+	p := &MostFreeEPC{}
+	cands := []*HostView{
+		view("a", 100, 4096),
+		view("b", 300, 4096),
+		view("c", 300, 4096),
+	}
+	got, ok := p.Pick(cands, 50)
+	if !ok || got.Addr != "b" {
+		t.Fatalf("Pick = %v, %v; want b (most free, address tiebreak)", got, ok)
+	}
+	// No candidate with room.
+	if _, ok := p.Pick(cands, 1000); ok {
+		t.Fatalf("Pick found room where none exists")
+	}
+	if _, ok := p.Pick(nil, 1); ok {
+		t.Fatalf("Pick on empty candidate set succeeded")
+	}
+}
+
+func TestPackingPick(t *testing.T) {
+	p := &Packing{}
+	cands := []*HostView{
+		view("a", 500, 4096),
+		view("b", 40, 4096),
+		view("c", 100, 4096),
+	}
+	// Fullest host that still fits: c (b has no room for 50).
+	got, ok := p.Pick(cands, 50)
+	if !ok || got.Addr != "c" {
+		t.Fatalf("Pick = %v, %v; want c (fullest with room)", got, ok)
+	}
+}
+
+func TestRoundRobinPickCycles(t *testing.T) {
+	p := &RoundRobin{}
+	cands := []*HostView{
+		view("b", 100, 4096),
+		view("a", 100, 4096),
+		view("c", 100, 4096),
+	}
+	var got []string
+	for i := 0; i < 6; i++ {
+		v, ok := p.Pick(cands, 1)
+		if !ok {
+			t.Fatalf("Pick %d failed", i)
+		}
+		got = append(got, v.Addr)
+	}
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin order %v, want %v", got, want)
+		}
+	}
+	// Full hosts are skipped, not returned.
+	cands[0].FreeEPC = 0 // b
+	for i := 0; i < 4; i++ {
+		v, ok := p.Pick(cands, 1)
+		if !ok || v.Addr == "b" {
+			t.Fatalf("round-robin picked full host b (got %v, %v)", v, ok)
+		}
+	}
+}
+
+func TestSpreadRebalanceEvens(t *testing.T) {
+	for _, pol := range []Policy{&MostFreeEPC{}, &RoundRobin{}} {
+		v := []*HostView{
+			view("a", 4090, 4096, "e1", "e2", "e3", "e4", "e5", "e6"),
+			view("b", 4096, 4096),
+			view("c", 4096, 4096),
+		}
+		plan := pol.Rebalance(v, 1)
+		if len(plan) != 4 {
+			t.Fatalf("%s: plan has %d moves, want 4: %v", pol.Name(), len(plan), plan)
+		}
+		for _, view := range v {
+			if view.Live() != 2 {
+				t.Fatalf("%s: uneven layout after rebalance: %s has %d", pol.Name(), view.Addr, view.Live())
+			}
+		}
+		// Converged layouts re-plan to nothing.
+		if again := pol.Rebalance(v, 1); len(again) != 0 {
+			t.Fatalf("%s: rebalance of even layout plans %d moves", pol.Name(), len(again))
+		}
+	}
+}
+
+func TestSpreadRebalanceRespectsCapacity(t *testing.T) {
+	p := &MostFreeEPC{}
+	v := []*HostView{
+		view("a", 4000, 4096, "e1", "e2", "e3", "e4"),
+		view("b", 0, 4096), // full: cannot receive
+		view("c", 4096, 4096),
+	}
+	plan := p.Rebalance(v, 10)
+	for _, m := range plan {
+		if m.To == "b" {
+			t.Fatalf("rebalance targeted full host b: %v", plan)
+		}
+	}
+	if v[2].Live() == 0 {
+		t.Fatalf("rebalance moved nothing to the empty host c: %v", plan)
+	}
+}
+
+func TestPackingRebalanceConsolidates(t *testing.T) {
+	p := &Packing{}
+	v := []*HostView{
+		view("a", 4000, 4096, "e1", "e2", "e3"),
+		view("b", 4094, 4096, "e4"),
+		view("c", 4095, 4096, "e5"),
+	}
+	plan := p.Rebalance(v, 1)
+	if len(plan) == 0 {
+		t.Fatalf("packing planned no consolidation")
+	}
+	nonEmpty := 0
+	for _, view := range v {
+		if view.Live() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("packing left %d non-empty hosts, want 1 (views %+v, plan %v)", nonEmpty, v, plan)
+	}
+	if v[0].Live() != 5 {
+		t.Fatalf("packing should consolidate onto the fullest host a; views %+v", v)
+	}
+}
+
+func TestPackingRebalanceMergesEqualHosts(t *testing.T) {
+	p := &Packing{}
+	v := []*HostView{
+		view("a", 4093, 4096, "e1", "e2", "e3"),
+		view("b", 4093, 4096, "e4", "e5", "e6"),
+	}
+	// An evenly split pair must still consolidate; the higher-address
+	// host donates on the tie.
+	plan := p.Rebalance(v, 1)
+	if len(plan) != 3 {
+		t.Fatalf("packing plan %v, want 3 b→a moves", plan)
+	}
+	if v[0].Live() != 6 || v[1].Live() != 0 {
+		t.Fatalf("equal pair did not merge: a=%d b=%d", v[0].Live(), v[1].Live())
+	}
+}
+
+func TestPackingRebalanceStopsAtCapacity(t *testing.T) {
+	p := &Packing{}
+	v := []*HostView{
+		view("a", 1, 4096, "e1", "e2", "e3"),
+		view("b", 4094, 4096, "e4", "e5"),
+	}
+	// a can absorb only one of b's enclaves at est=1; the plan must stop
+	// there instead of overcommitting or looping.
+	plan := p.Rebalance(v, 1)
+	if len(plan) != 1 || plan[0].From != "b" || plan[0].To != "a" {
+		t.Fatalf("packing plan %v, want exactly one b→a move", plan)
+	}
+}
+
+func TestFrameEstimate(t *testing.T) {
+	if est := frameEstimate(nil); est != 1 {
+		t.Fatalf("empty fleet estimate %d, want 1", est)
+	}
+	v := []*HostView{
+		view("a", 4000, 4096, "e1", "e2"), // 96 used over 2 live
+		view("b", 4096, 4096),
+	}
+	if est := frameEstimate(v); est != 48 {
+		t.Fatalf("estimate %d, want 48", est)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package hostd_test
 
 import (
 	"encoding/gob"
@@ -8,31 +8,17 @@ import (
 
 	"repro/internal/hostproto"
 	"repro/internal/telemetry"
+	"repro/internal/testhost"
 )
 
-// testHost is one in-process sgxhost on an ephemeral localhost port.
-type testHost struct {
-	s    *server
-	addr string
-}
-
-func startHost(t *testing.T, name string, seed uint64, sample float64) *testHost {
+func startHost(t *testing.T, name string, seed uint64, sample float64) *testhost.Host {
 	t.Helper()
-	s, err := newServer(name, "test-secret", 4096)
+	h, err := testhost.Start(name, seed, testhost.Options{Sample: sample})
 	if err != nil {
-		t.Fatalf("newServer(%s): %v", name, err)
+		t.Fatalf("start %s: %v", name, err)
 	}
-	s.tr = telemetry.NewSeeded(seed)
-	s.tr.SetSampling(sample)
-	s.met = telemetry.NewMetrics()
-	s.host.Mgr.SetMetrics(s.met)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { ln.Close() })
-	go s.serveLoop(ln)
-	return &testHost{s: s, addr: ln.Addr().String()}
+	t.Cleanup(h.Close)
+	return h
 }
 
 // clientRequest mirrors sgxmigrate's traced request: child span, inject,
@@ -71,12 +57,12 @@ func TestCrossHostTraceMerge(t *testing.T) {
 	client := telemetry.NewSeeded(3)
 
 	root := client.Begin("client.migrate")
-	launch, err := clientRequest(t, client, root, src.addr, hostproto.Command{Op: hostproto.OpLaunch, Image: "counter"})
+	launch, err := clientRequest(t, client, root, src.Addr, hostproto.Command{Op: hostproto.OpLaunch, Image: "counter"})
 	if err != nil {
 		t.Fatalf("launch: %v", err)
 	}
-	if _, err := clientRequest(t, client, root, src.addr, hostproto.Command{
-		Op: hostproto.OpMigrateOut, ID: launch.ID, Target: dst.addr,
+	if _, err := clientRequest(t, client, root, src.Addr, hostproto.Command{
+		Op: hostproto.OpMigrateOut, ID: launch.ID, Target: dst.Addr,
 	}); err != nil {
 		t.Fatalf("migrate-out: %v", err)
 	}
@@ -113,18 +99,29 @@ func TestCrossHostTraceMerge(t *testing.T) {
 		}
 	}
 	// No span left open on any party.
-	for who, tr := range map[string]*telemetry.Tracer{"client": client, "source": src.s.tr, "target": dst.s.tr} {
+	for who, tr := range map[string]*telemetry.Tracer{"client": client, "source": src.S.Tracer(), "target": dst.S.Tracer()} {
 		if n := tr.ActiveCount(); n != 0 {
 			t.Errorf("%s has %d open spans, want 0", who, n)
 		}
 	}
 	// The migrated enclave really is on the target.
-	list, err := clientRequest(t, client, client.Begin("client.list"), dst.addr, hostproto.Command{Op: hostproto.OpList})
+	list, err := clientRequest(t, client, client.Begin("client.list"), dst.Addr, hostproto.Command{Op: hostproto.OpList})
 	if err != nil {
 		t.Fatalf("list: %v", err)
 	}
 	if len(list.IDs) != 1 {
 		t.Fatalf("target has %d enclaves, want 1: %v", len(list.IDs), list.IDs)
+	}
+	// The source reaped the migrated-away session: no dead stub lingers
+	// holding EPC frames, and its stats report a fully free machine.
+	srcStats := src.S.Stats()
+	if len(srcStats.Live) != 0 || len(srcStats.Dead) != 0 {
+		t.Fatalf("source still holds sessions after migrate-out: %+v", srcStats)
+	}
+	// At most one frame may stay allocated: the epcman pool's VA page,
+	// set up on first enclave build and kept for the manager's lifetime.
+	if used := srcStats.TotalEPC - srcStats.FreeEPC; used > 1 {
+		t.Fatalf("source leaked EPC frames after migrate-out: %d free of %d", srcStats.FreeEPC, srcStats.TotalEPC)
 	}
 }
 
@@ -141,21 +138,21 @@ func TestSamplingZeroAcrossHosts(t *testing.T) {
 	if root.Context().Sampled {
 		t.Fatalf("p=0 root span is sampled")
 	}
-	if _, err := clientRequest(t, client, root, src.addr, hostproto.Command{Op: hostproto.OpLaunch, Image: "counter"}); err != nil {
+	if _, err := clientRequest(t, client, root, src.Addr, hostproto.Command{Op: hostproto.OpLaunch, Image: "counter"}); err != nil {
 		t.Fatalf("launch: %v", err)
 	}
 	root.End()
 	if got := client.Completed(); len(got) != 0 {
 		t.Fatalf("p=0 successful trace kept %d client spans, want 0: %+v", len(got), got)
 	}
-	if got := src.s.tr.Completed(); len(got) != 0 {
+	if got := src.S.Tracer().Completed(); len(got) != 0 {
 		t.Fatalf("p=0 successful trace kept %d host spans, want 0: %+v", len(got), got)
 	}
 
 	// Failure at p=0: migrating a nonexistent enclave fails on the host;
 	// both sides keep the trace.
 	root2 := client.Begin("client.migrate")
-	if _, err := clientRequest(t, client, root2, src.addr, hostproto.Command{
+	if _, err := clientRequest(t, client, root2, src.Addr, hostproto.Command{
 		Op: hostproto.OpMigrateOut, ID: "no-such-enclave", Target: "127.0.0.1:1",
 	}); err == nil {
 		t.Fatalf("migrate-out of unknown enclave succeeded")
@@ -172,7 +169,49 @@ func TestSamplingZeroAcrossHosts(t *testing.T) {
 	if !names["host.migrateout"] || !names["client.migrate-out"] || !names["client.migrate"] {
 		t.Fatalf("failed trace not fully kept at p=0: %v", names)
 	}
-	if src.s.tr.ActiveCount() != 0 || client.ActiveCount() != 0 {
-		t.Fatalf("open spans leaked: host=%d client=%d", src.s.tr.ActiveCount(), client.ActiveCount())
+	if src.S.Tracer().ActiveCount() != 0 || client.ActiveCount() != 0 {
+		t.Fatalf("open spans leaked: host=%d client=%d", src.S.Tracer().ActiveCount(), client.ActiveCount())
+	}
+}
+
+// TestOpStats pins the OpStats wire behaviour over a real connection:
+// counts, EPC accounting, and live-session listing reflect the host's
+// actual state before and after a launch.
+func TestOpStats(t *testing.T) {
+	h := startHost(t, "alpha", 6, 1)
+	client := telemetry.NewSeeded(7)
+	root := client.Begin("client.stats")
+	defer root.End()
+
+	empty, err := clientRequest(t, client, root, h.Addr, hostproto.Command{Op: hostproto.OpStats})
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if empty.Stats.Name != "alpha" {
+		t.Fatalf("stats name %q, want alpha", empty.Stats.Name)
+	}
+	if len(empty.Stats.Live) != 0 || len(empty.Stats.Dead) != 0 {
+		t.Fatalf("fresh host reports sessions: %+v", empty.Stats)
+	}
+	if empty.Stats.FreeEPC != empty.Stats.TotalEPC || empty.Stats.TotalEPC == 0 {
+		t.Fatalf("fresh host EPC accounting: %d free of %d", empty.Stats.FreeEPC, empty.Stats.TotalEPC)
+	}
+
+	launch, err := clientRequest(t, client, root, h.Addr, hostproto.Command{Op: hostproto.OpLaunch, Image: "counter"})
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	got, err := clientRequest(t, client, root, h.Addr, hostproto.Command{Op: hostproto.OpStats})
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if len(got.Stats.Live) != 1 || got.Stats.Live[0] != launch.ID {
+		t.Fatalf("stats live sessions %v, want [%s]", got.Stats.Live, launch.ID)
+	}
+	if got.Stats.FreeEPC >= got.Stats.TotalEPC {
+		t.Fatalf("launched enclave consumed no EPC: %d free of %d", got.Stats.FreeEPC, got.Stats.TotalEPC)
+	}
+	if got.Stats.InflightIn != 0 || got.Stats.InflightOut != 0 {
+		t.Fatalf("idle host reports in-flight migrations: %+v", got.Stats)
 	}
 }

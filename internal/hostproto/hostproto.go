@@ -19,6 +19,7 @@ const (
 	OpLaunch     Op = "launch"      // Image → ID
 	OpCall       Op = "call"        // ID, Worker, Selector, Args → Regs
 	OpList       Op = "list"        // → IDs
+	OpStats      Op = "stats"       // → Stats (capacity/load snapshot for fleet polling)
 	OpMigrateOut Op = "migrate-out" // ID, Target → Report
 	OpMigrateIn  Op = "migrate-in"  // (host-to-host) switches the conn to a migration transport
 )
@@ -39,6 +40,27 @@ type Command struct {
 	TraceParent string
 }
 
+// HostStats is the OpStats payload: one host's capacity and load
+// snapshot, polled periodically by the fleet control plane to drive
+// placement, drain, and rebalance decisions. Live/Dead are sorted so the
+// snapshot is deterministic for a given session table state.
+type HostStats struct {
+	Name string
+	// Live are the session IDs of running enclaves; Dead are sessions
+	// whose enclave has self-destroyed but has not been reaped yet
+	// (normally empty: migrated-away sessions are reaped on the spot).
+	Live []string
+	Dead []string
+	// FreeEPC/TotalEPC are the machine's EPC frame accounting — the
+	// capacity signal the placement policies weigh.
+	FreeEPC  int
+	TotalEPC int
+	// InflightIn/InflightOut count migrations currently executing with
+	// this host as target/source.
+	InflightIn  int
+	InflightOut int
+}
+
 // Response is the daemon's reply.
 type Response struct {
 	Err    string
@@ -46,6 +68,8 @@ type Response struct {
 	IDs    []string
 	Regs   []uint64
 	Report string
+	// Stats is populated only for OpStats.
+	Stats HostStats
 	// Trace is the daemon's finished span buffer for the request's trace,
 	// returned only when the request carried a TraceParent. The client
 	// Adopts it so `sgxmigrate -trace` emits one merged timeline.

@@ -32,6 +32,48 @@ func wireTraceFixture() telemetry.WireTrace {
 	}
 }
 
+// hostStatsFixture populates every HostStats field so the OpStats wire
+// message is exercised with non-zero values throughout.
+func hostStatsFixture() HostStats {
+	return HostStats{
+		Name:        "beta",
+		Live:        []string{"counter-1", "counter-2@4"},
+		Dead:        []string{"bank-3"},
+		FreeEPC:     3100,
+		TotalEPC:    4096,
+		InflightIn:  2,
+		InflightOut: 1,
+	}
+}
+
+// TestHostStatsRoundTrip pins the gob wire format of HostStats — the
+// OpStats payload the fleet control plane polls — including the empty
+// form and a truncated-frame rejection.
+func TestHostStatsRoundTrip(t *testing.T) {
+	stats := []HostStats{
+		{}, // empty host
+		hostStatsFixture(),
+	}
+	for i, in := range stats {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+			t.Fatalf("encode #%d: %v", i, err)
+		}
+		full := append([]byte(nil), buf.Bytes()...)
+		var out HostStats
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode #%d: %v", i, err)
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Errorf("round trip changed stats: %+v != %+v", out, in)
+		}
+		var trunc HostStats
+		if err := gob.NewDecoder(bytes.NewReader(full[:len(full)/2])).Decode(&trunc); err == nil {
+			t.Errorf("truncated frame #%d decoded to %+v, want error", i, trunc)
+		}
+	}
+}
+
 // TestCommandRoundTrip pins the gob wire format of Command: every field
 // (including the typed Op) survives an encode/decode cycle, and a
 // truncated frame is rejected.
@@ -74,6 +116,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Report: "quote-json"},
 		{Err: "no enclave \"x\""},
 		{Report: "total=1ms", Trace: wireTraceFixture()},
+		{Stats: hostStatsFixture()},
 	}
 	for i, in := range resps {
 		var buf bytes.Buffer

@@ -230,6 +230,11 @@ func DefaultConfig(modPath string) *Config {
 				Decode: "(*encoding/gob.Decoder).Decode",
 			},
 			{
+				Type:   modPath + "/internal/hostproto.HostStats",
+				Encode: "(*encoding/gob.Encoder).Encode",
+				Decode: "(*encoding/gob.Decoder).Decode",
+			},
+			{
 				Type:   modPath + "/internal/sgx.Report",
 				Encode: modPath + "/internal/enclave.MarshalReport",
 				Decode: modPath + "/internal/enclave.UnmarshalReport",

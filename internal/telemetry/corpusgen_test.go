@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegenFuzzCorpus rewrites the committed FuzzExtract seed corpus under
+// testdata/fuzz/ (see the core package's twin for the full rationale).
+// Gated behind REGEN_FUZZ_CORPUS=1; rerun after changing the traceparent
+// format or the in-code f.Add seeds, and commit the diff.
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") == "" {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz/")
+	}
+	tr := NewSeeded(1)
+	sp := tr.Begin("seed")
+	injected := sp.Context().Inject()
+	sp.End()
+	seeds := []string{
+		injected,
+		"",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // wrong version
+		"00-00000000000000000000000000000000-0000000000000000-01", // all-zero ids
+		"00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // bad hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333-01",  // short span id
+		strings.Repeat("-", 64),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzExtract")
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		body := "go test fuzz v1\nstring(" + strconv.Quote(seed) + ")\n"
+		name := filepath.Join(dir, "seed-"+strconv.Itoa(i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package testhost spins up in-process sgxhost daemons on ephemeral
+// localhost listeners, so tests and benchmarks can drive real TCP
+// migrations across N daemons without forking processes or copy-pasting
+// the harness. It deliberately does not depend on package testing:
+// internal/bench uses it for the drain ablation too.
+package testhost
+
+import (
+	"net"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/hostd"
+	"repro/internal/telemetry"
+)
+
+// Options configures a harness host. The zero value is usable.
+type Options struct {
+	// Secret is the shared deployment secret (default "test-secret").
+	// Every host in one fleet must use the same secret.
+	Secret string
+	// EPCFrames sizes the simulated machine's EPC (default 4096).
+	EPCFrames int
+	// Sample is the tracer's head-sampling fraction (failed traces are
+	// always kept). Fleets under fault sweeps run at 0 to keep span
+	// traffic out of the hot path.
+	Sample float64
+	// MigrationHook, if non-nil, wraps the source-side transport of every
+	// outbound migration (see hostd.Server.SetMigrationTransportHook).
+	// Installing it here, before the serve loop starts, keeps the field
+	// write race-free; dynamic per-migration behaviour belongs inside the
+	// hook, keyed by the migrating session's id.
+	MigrationHook func(id string, ts core.Transport) core.Transport
+}
+
+func (o Options) secret() string {
+	if o.Secret == "" {
+		return "test-secret"
+	}
+	return o.Secret
+}
+
+func (o Options) epc() int {
+	if o.EPCFrames == 0 {
+		return 4096
+	}
+	return o.EPCFrames
+}
+
+// Host is one in-process sgxhost on an ephemeral localhost port.
+type Host struct {
+	S    *hostd.Server
+	Addr string
+	ln   net.Listener
+}
+
+// Start builds a daemon, gives it a deterministic seeded tracer, binds an
+// ephemeral listener, and serves in a background goroutine until Close.
+// Seeds must be distinct across the hosts of one test so their span ID
+// streams stay disjoint when traces merge.
+func Start(name string, seed uint64, opt Options) (*Host, error) {
+	s, err := hostd.New(name, opt.secret(), opt.epc())
+	if err != nil {
+		return nil, err
+	}
+	tr := telemetry.NewSeeded(seed)
+	tr.SetSampling(opt.Sample)
+	s.SetTelemetry(tr, telemetry.NewMetrics())
+	if opt.MigrationHook != nil {
+		s.SetMigrationTransportHook(opt.MigrationHook)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go s.ServeLoop(ln)
+	return &Host{S: s, Addr: ln.Addr().String(), ln: ln}, nil
+}
+
+// Close stops accepting connections. In-flight connections finish on
+// their own; the serve loop goroutine exits with the listener.
+func (h *Host) Close() { _ = h.ln.Close() }
+
+// StartN starts n hosts named h0..h(n-1) with tracer seeds 1..n.
+// On error the already-started hosts are closed.
+func StartN(n int, opt Options) ([]*Host, error) {
+	hosts := make([]*Host, 0, n)
+	for i := 0; i < n; i++ {
+		h, err := Start(hostName(i), uint64(i+1), opt)
+		if err != nil {
+			CloseAll(hosts)
+			return nil, err
+		}
+		hosts = append(hosts, h)
+	}
+	return hosts, nil
+}
+
+// CloseAll closes every host in hs (nil entries tolerated).
+func CloseAll(hs []*Host) {
+	for _, h := range hs {
+		if h != nil {
+			h.Close()
+		}
+	}
+}
+
+// Addrs returns the listen addresses of hs in order.
+func Addrs(hs []*Host) []string {
+	addrs := make([]string, len(hs))
+	for i, h := range hs {
+		addrs[i] = h.Addr
+	}
+	return addrs
+}
+
+func hostName(i int) string {
+	return "h" + strconv.Itoa(i)
+}

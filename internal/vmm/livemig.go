@@ -67,6 +67,12 @@ type LiveMigrationConfig struct {
 	SendQueueChunks int
 	// PageCodec selects the bulk page encoding (default CodecFramedDelta).
 	PageCodec PageCodec
+	// CompressRaw additionally DEFLATEs the residual raw-page frames the
+	// delta codec passes through (first-touch pages and pages whose delta
+	// would not shrink), trading sender CPU for wire bytes — worthwhile on
+	// shaped links, not on fast local ones. Frames that do not shrink are
+	// sent raw, so the knob never costs wire bytes.
+	CompressRaw bool
 	// SerialDump restores the paper's serial Fig. 8 schedule: the enclave
 	// dump completes before the iterative pre-copy rounds start. By default
 	// the dump overlaps pre-copy (the checkpoint pages land in guest memory
@@ -172,6 +178,11 @@ type LiveMigrationStats struct {
 	RawFrames       int64
 	DeltaFrames     int64
 	DeltaSavedBytes int64
+	// RawzFrames counts residual raw frames that went out DEFLATE-
+	// compressed (CompressRaw), and FlateSavedBytes the payload bytes the
+	// compression removed on top of the delta savings.
+	RawzFrames      int64
+	FlateSavedBytes int64
 }
 
 // link simulates the migration network link.
@@ -239,10 +250,14 @@ type chunkSender struct {
 	applyErr error // written by the applier goroutine; read after <-applied
 	drainErr error // set inside drain's once
 
+	flate bool // DEFLATE residual raw frames (CompressRaw)
+
 	// Frame-mix accounting, collector-only until drain.
 	rawFrames   int64
 	deltaFrames int64
 	deltaSaved  int64
+	rawzFrames  int64
+	flateSaved  int64
 
 	// Instruments, nil when the migration runs without a metrics registry
 	// (their methods are nil-safe, but copyHist gates a time.Now pair so
@@ -260,6 +275,7 @@ func newChunkSender(dst *GuestMemory, cfg *LiveMigrationConfig, met *telemetry.M
 		ft:      src.(core.FrameTransport),
 		bc:      src.(core.ByteCounter),
 		codec:   cfg.PageCodec,
+		flate:   cfg.CompressRaw,
 		cache:   make(core.DeltaCache),
 		ch:      make(chan sendItem, cfg.sendQueue()),
 		applied: make(chan struct{}),
@@ -354,6 +370,14 @@ func applyFrame(dst *GuestMemory, f *core.PageFrame, pages *telemetry.Counter) e
 		// nothing to install in the simulation.
 	case core.FrameEnd:
 		// Stream terminator; the caller stops on it.
+	case core.FrameRawZ:
+		rf, err := core.InflateRawFrame(f)
+		if err != nil {
+			return err
+		}
+		dst.ApplyPages(rf.Pages, rf.Data)
+		pages.Add(int64(len(rf.Pages)))
+		rf.Release()
 	}
 	return nil
 }
@@ -400,9 +424,20 @@ func (s *chunkSender) send(src *GuestMemory, pages []int, chunk int, logCtr, wir
 			raw, delta, saved := core.EncodeChunk(part, data, s.cache)
 			s.deltaSaved += saved
 			if raw != nil {
-				s.rawFrames++
+				rawLogical := int64(len(raw.Pages)) * PageSize
 				s.observePages(len(raw.Pages), false)
-				s.enqueue(raw, int64(len(raw.Pages))*PageSize, logCtr, wireCtr)
+				if s.flate {
+					if z := core.DeflateRawFrame(raw); z != nil {
+						s.rawzFrames++
+						s.flateSaved += rawLogical - int64(len(z.Data))
+						s.enqueue(z, rawLogical, logCtr, wireCtr)
+						raw = nil
+					}
+				}
+				if raw != nil {
+					s.rawFrames++
+					s.enqueue(raw, rawLogical, logCtr, wireCtr)
+				}
 			}
 			if delta != nil {
 				s.deltaFrames++
@@ -835,6 +870,8 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	stats.RawFrames = snd.rawFrames
 	stats.DeltaFrames = snd.deltaFrames
 	stats.DeltaSavedBytes = snd.deltaSaved
+	stats.RawzFrames = snd.rawzFrames
+	stats.FlateSavedBytes = snd.flateSaved
 	if met != nil {
 		// Hardware execution counters at migration end; both machines so
 		// AEX storms on either side are visible in /metrics.
