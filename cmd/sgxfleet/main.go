@@ -7,20 +7,30 @@
 // Usage:
 //
 //	sgxfleet -hosts 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 status
+//	sgxfleet -hosts ... -json                  status
 //	sgxfleet -hosts ...                        place counter 6
 //	sgxfleet -hosts ... [-inflight 4]          drain 127.0.0.1:7001
 //	sgxfleet -hosts ... [-policy packing]      rebalance
+//	sgxfleet -hosts ...                        events [-follow]
 //	sgxfleet -hosts ... [-telemetry-addr :7100] watch
 //
 // drain empties one host, migrating every enclave to peers chosen by the
 // policy, with bounded per-host concurrency and retry-with-backoff on
 // transient faults; rebalance converges the fleet toward the policy's
-// preferred layout; watch polls forever, printing one status block per
-// interval and (with -telemetry-addr) serving the fleet gauges over
-// /metrics. See docs/FLEET.md for the architecture and retry semantics.
+// preferred layout. Both print, per migration they drove, the key-release
+// commit audit line from the source host's event journal — the record
+// proving the sealing key left the source only after its instance
+// self-destroyed. events tails the fleet-merged journal (every host's
+// protocol events, origin-stamped; -follow keeps scraping). watch polls
+// forever, printing one status block per interval and (with
+// -telemetry-addr) serving the fleet gauges over /metrics, the merged
+// journal over /events, and the host/rate aggregate over /fleet. See
+// docs/FLEET.md for the architecture and docs/TELEMETRY.md for the
+// journal and exposition formats.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -40,15 +50,17 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, covering a whole migration for migrate-out")
 	inflight := flag.Int("inflight", 2, "max concurrent migrations touching one host (as source or target)")
 	retries := flag.Int("retries", 4, "attempts per migration across transient faults")
-	interval := flag.Duration("interval", 2*time.Second, "watch: poll interval")
-	telAddr := flag.String("telemetry-addr", "", "watch: serve the fleet's /metrics on this address")
+	interval := flag.Duration("interval", 2*time.Second, "watch/events -follow: poll interval")
+	telAddr := flag.String("telemetry-addr", "", "watch: serve the fleet's /metrics, /events and /fleet on this address")
+	jsonOut := flag.Bool("json", false, "status: emit the host table as JSON instead of text")
+	journalCap := flag.Int("journal-cap", telemetry.DefaultJournalCap, "fleet-merged event journal ring size")
 	flag.Parse()
 
 	if *hostsFlag == "" {
 		log.Fatal("sgxfleet: -hosts is required")
 	}
 	if flag.NArg() == 0 {
-		log.Fatal("sgxfleet: need a subcommand: status, place, drain, rebalance or watch")
+		log.Fatal("sgxfleet: need a subcommand: status, place, drain, rebalance, events or watch")
 	}
 	policy, err := fleet.ParsePolicy(*policyFlag)
 	if err != nil {
@@ -62,6 +74,8 @@ func main() {
 		PerHostInflight: *inflight,
 		MaxAttempts:     *retries,
 		Metrics:         met,
+		Tracer:          telemetry.New(),
+		JournalCap:      *journalCap,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -74,6 +88,12 @@ func main() {
 		// is the point — so the poll error is printed, not fatal.
 		if err := f.Poll(); err != nil {
 			fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		}
+		if *jsonOut {
+			if err := json.NewEncoder(os.Stdout).Encode(fleet.StatusJSON(f.Snapshot())); err != nil {
+				log.Fatal(err)
+			}
+			return
 		}
 		printStatus(f)
 	case "place":
@@ -98,7 +118,7 @@ func main() {
 			log.Fatal("usage: sgxfleet drain <host>")
 		}
 		rep, err := fleet.Drain(f, args[1])
-		printReport(rep)
+		printReport(f, rep)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -107,16 +127,41 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		printReport(rep)
+		printReport(f, rep)
+	case "events":
+		follow := len(args) > 1 && args[1] == "-follow"
+		var cursor uint64
+		for {
+			if err := f.Poll(); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+			}
+			var recs []telemetry.Record
+			recs, cursor = f.EventsSince(cursor)
+			for _, r := range recs {
+				fmt.Println(eventLine(r))
+			}
+			if !follow {
+				return
+			}
+			time.Sleep(*interval)
+		}
 	case "watch":
 		if *telAddr != "" {
-			h := telemetry.Handler(nil, met)
+			inner := telemetry.Handler(nil, met, f.Journal())
+			mux := http.NewServeMux()
+			mux.Handle("/", inner)
+			mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				if err := f.WriteFleetJSON(w); err != nil {
+					log.Printf("sgxfleet: /fleet: %v", err)
+				}
+			})
 			go func() {
-				if err := http.ListenAndServe(*telAddr, h); err != nil {
+				if err := http.ListenAndServe(*telAddr, mux); err != nil {
 					log.Printf("sgxfleet: telemetry server: %v", err)
 				}
 			}()
-			log.Printf("fleet metrics on http://%s/metrics", *telAddr)
+			log.Printf("fleet telemetry on http://%s/metrics, /events and /fleet", *telAddr)
 		}
 		for {
 			if err := f.Poll(); err != nil {
@@ -124,6 +169,7 @@ func main() {
 			}
 			fmt.Printf("--- %s\n", time.Now().Format(time.RFC3339))
 			printStatus(f)
+			printRates(f)
 			time.Sleep(*interval)
 		}
 	default:
@@ -151,7 +197,24 @@ func printStatus(f *fleet.Fleet) {
 	}
 }
 
-func printReport(rep *fleet.Report) {
+// printRates appends the federated per-host rate rows to a watch block.
+// Rows stay blank until two scrape rounds have landed for a host.
+func printRates(f *fleet.Fleet) {
+	for _, r := range f.Rates() {
+		if r.WindowS == 0 {
+			continue
+		}
+		fmt.Printf("    rate %-22s window=%.1fs evict/s=%.2f mig/s=%.2f retry/s=%.2f\n",
+			r.Addr, r.WindowS, r.Evictions, r.Migrations, r.Retries)
+	}
+}
+
+func printReport(f *fleet.Fleet, rep *fleet.Report) {
+	// A final poll federates each host's journal tail so the audit lines
+	// below see the key-release records of the very last migrations.
+	if err := f.Poll(); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+	}
 	for _, r := range rep.Results {
 		line := fmt.Sprintf("%s\t%s -> %s\t%s\tattempts=%d", r.ID, r.From, r.To, r.Outcome, r.Attempts)
 		if r.NewID != "" {
@@ -161,6 +224,30 @@ func printReport(rep *fleet.Report) {
 			line += "\terr=" + r.Err.Error()
 		}
 		fmt.Println(line)
+		if r.Outcome == fleet.Moved || r.Outcome == fleet.MovedAfterError {
+			if rec, ok := f.KeyReleaseAudit(r); ok {
+				fmt.Println("  audit: " + eventLine(rec))
+			} else {
+				fmt.Printf("  audit: MISSING key-release record for %s on %s\n", r.ID, r.From)
+			}
+		}
 	}
 	fmt.Println(rep.Summary())
+}
+
+// eventLine renders one journal record as a single text line:
+// timestamp, origin host, kind, enclave, trace id, then the attributes.
+func eventLine(r telemetry.Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-22s %-14s", time.Unix(0, r.WallNs).Format(time.RFC3339Nano), r.Host, r.Kind)
+	if r.EnclaveID != "" {
+		fmt.Fprintf(&b, " enclave=%s", r.EnclaveID)
+	}
+	if !r.TraceID.IsZero() {
+		fmt.Fprintf(&b, " trace=%s", r.TraceID)
+	}
+	for _, a := range r.Attrs {
+		fmt.Fprintf(&b, " %s=%s", a.Key, a.Val)
+	}
+	return b.String()
 }

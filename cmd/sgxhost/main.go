@@ -14,8 +14,13 @@
 //
 // With -telemetry-addr the daemon additionally serves its live telemetry
 // over HTTP: /metrics (plain-text instrument dump with p50/p90/p99
-// columns), /debug/trace (Chrome trace-event JSON of every migration span
-// so far), and /debug/pprof/ (runtime profiles); see docs/TELEMETRY.md.
+// columns), /metrics/prom (the same registry in Prometheus text
+// exposition), /events (the structured protocol-event journal, cursor
+// fetch via ?since=N), /debug/trace (Chrome trace-event JSON of every
+// migration span so far), and /debug/pprof/ (runtime profiles); see
+// docs/TELEMETRY.md. The journal is always on (its ring is bounded by
+// -journal-cap and appends are allocation-free); the fleet controller
+// scrapes it over hostproto's OpEvents regardless of -telemetry-addr.
 // Tracing is distributed: requests carrying a trace context (sgxmigrate
 // -trace) get their spans parented under the client's, migrations forward
 // the context to the target host, and the target ships its span buffer
@@ -46,22 +51,24 @@ func main() {
 	name := flag.String("name", "host", "machine name")
 	secret := flag.String("secret", "", "shared deployment secret (required)")
 	epc := flag.Int("epc", 8192, "EPC frames")
-	telAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/trace and /debug/pprof on this address (empty disables telemetry)")
+	telAddr := flag.String("telemetry-addr", "", "serve /metrics, /events, /debug/trace and /debug/pprof on this address (empty disables telemetry)")
 	sample := flag.Float64("trace-sample", 1, "fraction of locally-rooted traces to keep (failed traces are always kept)")
+	journalCap := flag.Int("journal-cap", telemetry.DefaultJournalCap, "protocol-event journal ring size (records retained for OpEvents//events scrapes)")
 	flag.Parse()
 	if *secret == "" {
 		log.Fatal("sgxhost: -secret is required")
 	}
-	if err := run(*listen, *name, *secret, *epc, *telAddr, *sample); err != nil {
+	if err := run(*listen, *name, *secret, *epc, *telAddr, *sample, *journalCap); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, name, secret string, epc int, telAddr string, sample float64) error {
+func run(listen, name, secret string, epc int, telAddr string, sample float64, journalCap int) error {
 	s, err := hostd.New(name, secret, epc)
 	if err != nil {
 		return err
 	}
+	s.SetJournal(telemetry.NewJournal(journalCap))
 
 	// Tracing and metrics are always on — the daemon must be able to join
 	// a migration trace rooted elsewhere even when it serves no telemetry
@@ -72,7 +79,7 @@ func run(listen, name, secret string, epc int, telAddr string, sample float64) e
 	s.EnableTelemetry(sample)
 
 	if telAddr != "" {
-		inner := telemetry.Handler(s.Tracer(), s.Metrics())
+		inner := telemetry.Handler(s.Tracer(), s.Metrics(), s.Journal())
 		handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			// Hardware counters and session gauges are pull-based:
 			// refresh them per scrape instead of on every ecall.
@@ -84,7 +91,7 @@ func run(listen, name, secret string, epc int, telAddr string, sample float64) e
 				log.Printf("sgxhost: telemetry server: %v", err)
 			}
 		}()
-		log.Printf("telemetry on http://%s/metrics, /debug/trace and /debug/pprof", telAddr)
+		log.Printf("telemetry on http://%s/metrics, /events, /debug/trace and /debug/pprof", telAddr)
 	}
 
 	ln, err := net.Listen("tcp", listen)

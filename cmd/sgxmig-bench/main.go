@@ -10,6 +10,7 @@
 //	sgxmig-bench -fig 9a             # one experiment: 9a 9b 9c 9d 10 11 a1 a2 a3 a4 a5 a6
 //	sgxmig-bench -quick              # smaller sweeps
 //	sgxmig-bench -trace out.json     # also write a Chrome trace (see docs/TELEMETRY.md)
+//	sgxmig-bench -prom out.prom      # also write the run's metrics as Prometheus text
 package main
 
 import (
@@ -29,24 +30,40 @@ func main() {
 	fig := flag.String("fig", "all", "experiment to run: 9a 9b 9c 9d 10 11 a1 a2 a3 a4 a5 a6 all")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
+	promPath := flag.String("prom", "", "write the run's metrics registry as Prometheus text exposition to this file")
 	flag.Parse()
 
-	if *tracePath != "" {
+	if *tracePath != "" || *promPath != "" {
 		tr := telemetry.New()
 		met := telemetry.NewMetrics()
 		bench.SetTracer(tr, met)
 		defer func() {
-			f, err := os.Create(*tracePath)
-			if err != nil {
-				log.Fatalf("trace: %v", err)
+			if *tracePath != "" {
+				f, err := os.Create(*tracePath)
+				if err != nil {
+					log.Fatalf("trace: %v", err)
+				}
+				if err := tr.WriteChromeTrace(f); err != nil {
+					log.Fatalf("trace: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatalf("trace: %v", err)
+				}
+				fmt.Printf("\nwrote %d spans to %s\n", len(tr.Completed()), *tracePath)
 			}
-			if err := tr.WriteChromeTrace(f); err != nil {
-				log.Fatalf("trace: %v", err)
+			if *promPath != "" {
+				f, err := os.Create(*promPath)
+				if err != nil {
+					log.Fatalf("prom: %v", err)
+				}
+				if err := met.WriteProm(f); err != nil {
+					log.Fatalf("prom: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatalf("prom: %v", err)
+				}
+				fmt.Printf("wrote metrics exposition to %s\n", *promPath)
 			}
-			if err := f.Close(); err != nil {
-				log.Fatalf("trace: %v", err)
-			}
-			fmt.Printf("\nwrote %d spans to %s\n", len(tr.Completed()), *tracePath)
 		}()
 	}
 

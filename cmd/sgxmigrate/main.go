@@ -165,6 +165,7 @@ func demo(tr *telemetry.Tracer, from, to, image string) (err error) {
 		return err
 	}
 	fmt.Printf("   %s\n", mig.Report)
+	auditKeyRelease(tr, sp, from, id)
 
 	fmt.Printf("4. source instance must be dead:\n")
 	if _, err := request(tr, sp, from, hostproto.Command{
@@ -206,4 +207,42 @@ func demo(tr *telemetry.Tracer, from, to, image string) (err error) {
 	}
 	fmt.Println("success: state moved, source destroyed")
 	return nil
+}
+
+// auditKeyRelease fetches the source host's event journal and prints the
+// key-release commit record for this migration — the audit line proving
+// the sealing key was released only after the source instance
+// self-destroyed. When the run is traced the record is matched by the
+// client's TraceID; otherwise by enclave id (newest record wins). The
+// audit is best-effort: a scrape failure warns but does not fail a
+// migration that already succeeded.
+func auditKeyRelease(tr *telemetry.Tracer, sp *telemetry.Span, from, id string) {
+	resp, err := request(tr, sp, from, hostproto.Command{Op: hostproto.OpEvents})
+	if err != nil {
+		fmt.Printf("   audit: journal scrape failed: %v\n", err)
+		return
+	}
+	want := sp.Context().TraceID
+	for i := len(resp.Events) - 1; i >= 0; i-- {
+		r := resp.Events[i]
+		if r.Kind != telemetry.EventKeyRelease {
+			continue
+		}
+		if !want.IsZero() && r.TraceID != want {
+			continue
+		}
+		if want.IsZero() && r.EnclaveID != id {
+			continue
+		}
+		line := fmt.Sprintf("   audit: key-release %s enclave=%s", time.Unix(0, r.WallNs).Format(time.RFC3339Nano), r.EnclaveID)
+		if !r.TraceID.IsZero() {
+			line += " trace=" + r.TraceID.String()
+		}
+		for _, a := range r.Attrs {
+			line += " " + a.Key + "=" + a.Val
+		}
+		fmt.Println(line)
+		return
+	}
+	fmt.Printf("   audit: no key-release record for %s on %s\n", id, from)
 }

@@ -99,6 +99,15 @@ type Options struct {
 	// Metrics, if set, receives migration counters (migrations started,
 	// committed, aborted, checkpoint bytes). Nil disables.
 	Metrics *telemetry.Metrics
+	// Journal, if set, receives the structured protocol events — quiesce,
+	// channel-up, self-destroy, key-release/receive, restore-finish, and
+	// every abort with its cause. Nil disables; appends are allocation-free
+	// so the emitters run unconditionally, abort paths included.
+	Journal *telemetry.Journal
+	// EnclaveID names the enclave in journal records. The host daemon sets
+	// it to the session id (e.g. "counter-1") so journal lines match the
+	// fleet's migration ids; empty falls back to the image name.
+	EnclaveID string
 }
 
 // span returns the parent span, tolerating a nil receiver.
@@ -115,6 +124,37 @@ func (o *Options) metrics() *telemetry.Metrics {
 		return nil
 	}
 	return o.Metrics
+}
+
+// journal returns the event journal, tolerating a nil receiver.
+func (o *Options) journal() *telemetry.Journal {
+	if o == nil {
+		return nil
+	}
+	return o.Journal
+}
+
+// enclaveID resolves the journal name for rt: the host-assigned session id
+// when set, else the enclave's image name.
+func (o *Options) enclaveID(rt *enclave.Runtime) string {
+	if o != nil && o.EnclaveID != "" {
+		return o.EnclaveID
+	}
+	if rt == nil {
+		return ""
+	}
+	return rt.App().Name
+}
+
+// journalAbort files one abort event carrying the failed phase and its
+// cause. Nil-safe throughout and a no-op on success, so every phase can
+// defer it unconditionally.
+func journalAbort(o *Options, id, phase string, ctx telemetry.Context, err error) {
+	if err == nil {
+		return
+	}
+	o.journal().Append(telemetry.EventAbort, id, ctx,
+		telemetry.String("phase", phase), telemetry.String("cause", err.Error()))
 }
 
 func (o *Options) pollInterval() time.Duration {
@@ -193,6 +233,7 @@ func parseImageBlob(b []byte) (name string, mr [32]byte, threads int, err error)
 func Prepare(src *enclave.Runtime, opts *Options) (_ time.Duration, err error) {
 	sp := opts.span().Child("core.prepare", telemetry.String("enclave", src.App().Name))
 	defer func() { sp.Fail(err) }()
+	defer func() { journalAbort(opts, opts.enclaveID(src), "prepare", sp.Context(), err) }()
 	start := time.Now()
 	src.RequestMigration()
 	if _, err := src.CtlCall(enclave.SelCtlMigrateBegin); err != nil {
@@ -212,6 +253,8 @@ func Prepare(src *enclave.Runtime, opts *Options) (_ time.Duration, err error) {
 			return 0, err
 		}
 		if res[0] == 1 {
+			opts.journal().Append(telemetry.EventQuiesce, opts.enclaveID(src), sp.Context(),
+				telemetry.Duration("took", time.Since(start)))
 			return time.Since(start), nil
 		}
 		if time.Now().After(deadline) {
@@ -329,6 +372,7 @@ func migrateOutChannel(src *enclave.Runtime, blob []byte, t Transport, opts *Opt
 	sp := opts.span().Child("core.channel",
 		telemetry.String("enclave", src.App().Name), telemetry.String("mode", mode))
 	defer func() { sp.Fail(err) }()
+	defer func() { journalAbort(opts, opts.enclaveID(src), "channel", sp.Context(), err) }()
 	defer func() {
 		if err != nil {
 			if cErr := Cancel(src); cErr != nil {
@@ -374,6 +418,8 @@ func migrateOutChannel(src *enclave.Runtime, blob []byte, t Transport, opts *Opt
 	}
 	// Agent mode (Sec. VI-D): the channel to the agent was (or can be)
 	// built ahead of time; there is nothing to set up here.
+	opts.journal().Append(telemetry.EventChannelUp, opts.enclaveID(src), sp.Context(),
+		telemetry.String("mode", mode))
 	return ps, nil
 }
 
@@ -387,6 +433,7 @@ func (ps *PreparedSource) Release() (_ SourceReport, err error) {
 		telemetry.String("enclave", ps.src.App().Name))
 	defer func() {
 		sp.Fail(err)
+		journalAbort(ps.opts, ps.opts.enclaveID(ps.src), "release", sp.Context(), err)
 		m := ps.opts.metrics()
 		if err != nil {
 			m.Counter("core.migrations.aborted").Inc()
@@ -414,6 +461,8 @@ func (ps *PreparedSource) Release() (_ SourceReport, err error) {
 		}
 		released = true
 		src.MarkDead()
+		opts.journal().Append(telemetry.EventSelfDestroy, opts.enclaveID(src), sp.Context(),
+			telemetry.String("mode", "agent"))
 		if err = opts.Agent.InstallKey(sealedKey); err != nil {
 			return ps.rep, fmt.Errorf("core: agent install key: %w", err)
 		}
@@ -435,6 +484,8 @@ func (ps *PreparedSource) Release() (_ SourceReport, err error) {
 		// handling sees the instance as gone even though the call that
 		// killed it returned normally.
 		src.MarkDead()
+		opts.journal().Append(telemetry.EventSelfDestroy, opts.enclaveID(src), sp.Context(),
+			telemetry.String("mode", "remote-attest"))
 		if sealedKey, err = src.ReadShared(enclave.SharedReqOff, res[0]); err != nil {
 			return ps.rep, err
 		}
@@ -442,6 +493,11 @@ func (ps *PreparedSource) Release() (_ SourceReport, err error) {
 			return ps.rep, err
 		}
 	}
+	// Both branches have sent MsgKey: the key is out, the commit is
+	// irrevocable. This is the audit record the fleet matches one-to-one
+	// against completed migrations.
+	opts.journal().Append(telemetry.EventKeyRelease, opts.enclaveID(src), sp.Context(),
+		telemetry.Int("sealed_bytes", len(sealedKey)))
 	ps.rep.ChannelTime = time.Since(ps.chanStart)
 
 	if _, err = recvKind(t, MsgDone); err != nil {
@@ -630,6 +686,7 @@ func (pt *PreparedTarget) Runtime() *enclave.Runtime { return pt.rt }
 func MigrateInPrepare(host *enclave.Host, reg *Registry, t Transport, opts *Options) (_ *PreparedTarget, err error) {
 	sp := opts.span().Child("core.target.prepare")
 	defer func() { sp.Fail(err) }()
+	defer func() { journalAbort(opts, opts.enclaveID(nil), "target-prepare", sp.Context(), err) }()
 	imgMsg, err := recvKind(t, MsgImage)
 	if err != nil {
 		return nil, err
@@ -681,6 +738,8 @@ func MigrateInPrepare(host *enclave.Host, reg *Registry, t Transport, opts *Opti
 			return nil, err
 		}
 	}
+	opts.journal().Append(telemetry.EventChannelUp, opts.enclaveID(rt), sp.Context(),
+		telemetry.String("side", "target"))
 	return &PreparedTarget{rt: rt, hdr: hdr, blob: blob, t: t, opts: opts}, nil
 }
 
@@ -692,6 +751,7 @@ func (pt *PreparedTarget) Finish() (_ *Incoming, err error) {
 	sp := pt.opts.span().Child("core.target.finish",
 		telemetry.String("enclave", pt.rt.App().Name))
 	defer func() { sp.Fail(err) }()
+	defer func() { journalAbort(pt.opts, pt.opts.enclaveID(pt.rt), "target-finish", sp.Context(), err) }()
 	fail := func(err error) (*Incoming, error) {
 		// Destroying also unblocks any ResumeWorker goroutines parked in the
 		// spin region; their results land in the buffered channel.
@@ -718,6 +778,9 @@ func (pt *PreparedTarget) Finish() (_ *Incoming, err error) {
 			return fail(err)
 		}
 	}
+	// Kmigrate is installed on the target — the receive-side twin of the
+	// source's key-release audit record.
+	pt.opts.journal().Append(telemetry.EventKeyReceive, pt.opts.enclaveID(pt.rt), sp.Context())
 	inc, err := Restore(pt.rt, pt.hdr, pt.blob, pt.opts)
 	if err != nil {
 		abort(pt.t, "restore failed")
@@ -817,6 +880,7 @@ func restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, own
 	sp := opts.span().Child("core.restore",
 		telemetry.String("enclave", rt.App().Name), telemetry.Int("checkpoint_bytes", len(blob)))
 	defer func() { sp.Fail(err) }()
+	defer func() { journalAbort(opts, opts.enclaveID(rt), "restore", sp.Context(), err) }()
 	restoreStart := time.Now()
 	// Step-3a: the untrusted runtime rebuilds CSSA by forced AEX cycles.
 	if err := rt.RebuildCSSA(hdr.MigK); err != nil {
@@ -876,6 +940,11 @@ func restore(rt *enclave.Runtime, hdr enclave.CheckpointHeader, blob []byte, own
 	}
 	verifyTime := time.Since(verifyStart)
 	sp.Annotate(telemetry.Duration("restore", restoreTime), telemetry.Duration("verify", verifyTime))
+	// Restore and in-enclave verification both passed: the instance is
+	// live here. A Lost migration is precisely one whose journal has the
+	// source's self-destroy but no matching restore-finish.
+	opts.journal().Append(telemetry.EventRestoreFinish, opts.enclaveID(rt), sp.Context(),
+		telemetry.Duration("restore", restoreTime), telemetry.Duration("verify", verifyTime))
 
 	return &Incoming{
 		Runtime:     rt,

@@ -83,7 +83,19 @@ type Manager struct {
 	reloadCtr  *telemetry.Counter   // guarded by mu
 	evictHist  *telemetry.Histogram // guarded by mu
 	reloadHist *telemetry.Histogram // guarded by mu
+
+	// journal, if set, receives burst-coalesced EPC-pressure events: at
+	// most one per pressureWindow, carrying the evictions accumulated in
+	// burstEvictions since the previous event. Coalescing keeps a
+	// thrashing pool from flooding the (bounded) journal with one record
+	// per EWB while still making pressure episodes visible fleet-wide.
+	journal        *telemetry.Journal // guarded by mu
+	lastPressure   time.Time          // guarded by mu
+	burstEvictions int                // guarded by mu
 }
+
+// pressureWindow is the minimum spacing of EventEPCPressure records.
+const pressureWindow = 100 * time.Millisecond
 
 // FrameSource supplies extra EPC frames on demand; it returns an error when
 // the grant is exhausted (forcing guest-level eviction).
@@ -175,6 +187,15 @@ func (g *Manager) SetMetrics(m *telemetry.Metrics) {
 	g.evictHist = evictHist
 	g.reloadHist = reloadHist
 	g.publishFramesLocked()
+}
+
+// SetJournal installs the event journal pressure bursts are reported to
+// (nil leaves the manager silent). Like SetMetrics, it touches no other
+// lock while holding mu.
+func (g *Manager) SetJournal(j *telemetry.Journal) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.journal = j
 }
 
 // publishFramesLocked refreshes the occupancy gauges; no-op when dark.
@@ -286,6 +307,13 @@ func (g *Manager) evictAtLocked(idx int) error {
 	g.free = append(g.free, victim.frame)
 	g.evictions++
 	g.evictCtr.Inc()
+	g.burstEvictions++
+	if g.journal != nil && time.Since(g.lastPressure) >= pressureWindow {
+		g.journal.Append(telemetry.EventEPCPressure, "", telemetry.Context{},
+			telemetry.Int("evictions", g.burstEvictions), telemetry.Int("free", len(g.free)))
+		g.lastPressure = time.Now()
+		g.burstEvictions = 0
+	}
 	return nil
 }
 

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/hostproto"
+	"repro/internal/telemetry"
+)
+
+// fedState is the federation side of the fleet: per-host journal cursors
+// and counter-snapshot windows, from which the merged event stream and
+// the rate series are built. It carries its own mutex so federation
+// scrapes never contend with placement decisions.
+type fedState struct {
+	mu      sync.Mutex
+	cursors map[string]uint64          // guarded by mu: next OpEvents cursor per host
+	samples map[string][]counterSample // guarded by mu: counter history within rateWindow
+}
+
+// counterSample is one host's counter snapshot at scrape time.
+type counterSample struct {
+	at       time.Time
+	counters map[string]int64
+}
+
+// federate scrapes one host's journal tail and counter snapshot (the
+// OpEvents round that rides every successful poll), merges the events
+// into the fleet-wide journal, and files the counters into that host's
+// rate window. Errors are soft — the poll already established liveness,
+// so a failed scrape only counts on fleet.federate.errors and the cursor
+// stays put for the next round.
+func (f *Fleet) federate(addr string) {
+	f.fed.mu.Lock()
+	cursor := f.fed.cursors[addr]
+	f.fed.mu.Unlock()
+	resp, err := f.request(nil, addr, hostproto.Command{Op: hostproto.OpEvents, Cursor: cursor})
+	if err != nil {
+		f.fedErrors.Inc()
+		return
+	}
+	f.journal.Merge(addr, resp.Events)
+	now := time.Now()
+	f.fed.mu.Lock()
+	f.fed.cursors[addr] = resp.NextCursor
+	if resp.Counters != nil {
+		window := append(f.fed.samples[addr], counterSample{at: now, counters: resp.Counters})
+		// Prune everything older than the rate window, keeping at least
+		// the previous sample so a rate is always computable.
+		cut := 0
+		for cut < len(window)-1 && now.Sub(window[cut].at) > f.cfg.rateWindow() {
+			cut++
+		}
+		f.fed.samples[addr] = window[cut:]
+	}
+	f.fed.mu.Unlock()
+}
+
+// Journal returns the fleet-merged event journal: every scraped host's
+// records, origin-stamped, in scrape order. sgxfleet watch serves it on
+// /events and the drain/rebalance audit lines are matched against it.
+func (f *Fleet) Journal() *telemetry.Journal { return f.journal }
+
+// EventsSince returns the merged records after cursor plus the cursor to
+// resume from — the `sgxfleet events -follow` tail.
+func (f *Fleet) EventsSince(cursor uint64) ([]telemetry.Record, uint64) {
+	return f.journal.Since(cursor)
+}
+
+// HostRates is one host's time-windowed rate row: EPC pressure, migration
+// throughput, and the retry rate (failed attempts the fleet re-drove),
+// each as events per second over the sampled window.
+type HostRates struct {
+	Addr string `json:"addr"`
+	// WindowS is the actual sampled span in seconds (<= the configured
+	// rate window; 0 with fewer than two scrapes).
+	WindowS    float64 `json:"window_s"`
+	Evictions  float64 `json:"epc_evictions_per_s"`
+	Migrations float64 `json:"migrations_per_s"`
+	Retries    float64 `json:"retries_per_s"`
+}
+
+// counterRate computes the per-second increase of one counter across the
+// window's first and last samples.
+func counterRate(window []counterSample, names ...string) float64 {
+	first, last := window[0], window[len(window)-1]
+	elapsed := last.at.Sub(first.at).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	var delta int64
+	for _, name := range names {
+		delta += last.counters[name] - first.counters[name]
+	}
+	if delta < 0 {
+		// The host restarted and its counters reset; report the window as
+		// quiet rather than a negative rate.
+		return 0
+	}
+	return float64(delta) / elapsed
+}
+
+// Rates derives every host's windowed rate series from the federated
+// counter samples, in host order.
+func (f *Fleet) Rates() []HostRates {
+	f.fed.mu.Lock()
+	defer f.fed.mu.Unlock()
+	out := make([]HostRates, 0, len(f.order))
+	for _, addr := range f.order {
+		r := HostRates{Addr: addr}
+		if window := f.fed.samples[addr]; len(window) >= 2 {
+			r.WindowS = window[len(window)-1].at.Sub(window[0].at).Seconds()
+			r.Evictions = counterRate(window, "epcman.evictions")
+			r.Migrations = counterRate(window, "host.migrations.out", "host.migrations.in")
+			r.Retries = counterRate(window, "host.migrations.failed")
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// HostStatusJSON is the machine-readable form of one HostStatus row,
+// shared by `sgxfleet status -json` and the watch aggregate.
+type HostStatusJSON struct {
+	Addr        string   `json:"addr"`
+	Healthy     bool     `json:"healthy"`
+	Err         string   `json:"err,omitempty"`
+	Name        string   `json:"name,omitempty"`
+	Live        []string `json:"live,omitempty"`
+	Dead        []string `json:"dead,omitempty"`
+	FreeEPC     int      `json:"free_epc"`
+	TotalEPC    int      `json:"total_epc"`
+	InflightIn  int      `json:"inflight_in"`
+	InflightOut int      `json:"inflight_out"`
+}
+
+// StatusJSON converts a Snapshot into its wire form.
+func StatusJSON(snap []HostStatus) []HostStatusJSON {
+	out := make([]HostStatusJSON, len(snap))
+	for i, st := range snap {
+		out[i] = HostStatusJSON{
+			Addr:        st.Addr,
+			Healthy:     st.Healthy,
+			Err:         st.Err,
+			Name:        st.Stats.Name,
+			Live:        st.Stats.Live,
+			Dead:        st.Stats.Dead,
+			FreeEPC:     st.Stats.FreeEPC,
+			TotalEPC:    st.Stats.TotalEPC,
+			InflightIn:  st.Stats.InflightIn,
+			InflightOut: st.Stats.InflightOut,
+		}
+	}
+	return out
+}
+
+// WriteFleetJSON writes the watch aggregate — the last snapshot plus the
+// windowed rate series — as one JSON document (the /fleet payload).
+func (f *Fleet) WriteFleetJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(struct {
+		Hosts []HostStatusJSON `json:"hosts"`
+		Rates []HostRates      `json:"rates"`
+	}{Hosts: StatusJSON(f.Snapshot()), Rates: f.Rates()})
+}
+
+// KeyReleaseAudit finds the key-release commit record for one finished
+// migration in the merged journal: it must be on the source host and,
+// when the fleet traced the migration, carry its TraceID (untraced
+// migrations fall back to matching the enclave id). The bool is false
+// when no such record was scraped — for a Moved result that is an audit
+// failure, for Failed it is the expected absence.
+func (f *Fleet) KeyReleaseAudit(res Result) (telemetry.Record, bool) {
+	recs, _ := f.journal.Since(0)
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if r.Kind != telemetry.EventKeyRelease || r.Host != res.From {
+			continue
+		}
+		if !res.TraceID.IsZero() {
+			if r.TraceID == res.TraceID {
+				return r, true
+			}
+			continue
+		}
+		if r.EnclaveID == res.ID {
+			return r, true
+		}
+	}
+	return telemetry.Record{}, false
+}

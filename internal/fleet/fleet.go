@@ -47,8 +47,16 @@ type Config struct {
 	// Metrics receives the fleet gauges and counters; nil disables.
 	Metrics *telemetry.Metrics
 	// Tracer parents a client span over each control request; nil
-	// disables.
+	// disables. When set, every scheduled migration also gets a root span
+	// whose TraceID lands in its Result, joining the fleet's audit trail
+	// to the hosts' journal records.
 	Tracer *telemetry.Tracer
+	// JournalCap bounds the fleet-merged event journal (default
+	// telemetry.DefaultJournalCap).
+	JournalCap int
+	// RateWindow is the span of counter history kept per host for the
+	// rate series (default 60s).
+	RateWindow time.Duration
 }
 
 func (c Config) timeout() time.Duration {
@@ -86,6 +94,13 @@ func (c Config) backoffMax() time.Duration {
 	return c.BackoffMax
 }
 
+func (c Config) rateWindow() time.Duration {
+	if c.RateWindow == 0 {
+		return time.Minute
+	}
+	return c.RateWindow
+}
+
 // hostState is the fleet's record of one daemon.
 type hostState struct {
 	addr string
@@ -113,6 +128,14 @@ type Fleet struct {
 	queueDepth *telemetry.Gauge
 	retries    *telemetry.Counter
 	healthyG   *telemetry.Gauge
+	fedErrors  *telemetry.Counter
+
+	// journal is the fleet-merged event stream, fed by the OpEvents
+	// scrape that rides every successful poll (see federate.go).
+	journal *telemetry.Journal
+	// fed holds the per-host federation cursors and rate windows, under
+	// its own internal mutex.
+	fed fedState
 }
 
 // New validates cfg and builds the controller. It performs no I/O: the
@@ -130,10 +153,15 @@ func New(cfg Config) (*Fleet, error) {
 		seed = 1
 	}
 	f := &Fleet{
-		cfg:    cfg,
-		policy: pol,
-		hosts:  make(map[string]*hostState, len(cfg.Hosts)),
-		rng:    rand.New(rand.NewSource(int64(seed))),
+		cfg:     cfg,
+		policy:  pol,
+		hosts:   make(map[string]*hostState, len(cfg.Hosts)),
+		rng:     rand.New(rand.NewSource(int64(seed))),
+		journal: telemetry.NewJournal(cfg.JournalCap),
+		fed: fedState{
+			cursors: make(map[string]uint64),
+			samples: make(map[string][]counterSample),
+		},
 	}
 	for _, addr := range cfg.Hosts {
 		if addr == "" {
@@ -150,6 +178,7 @@ func New(cfg Config) (*Fleet, error) {
 		f.queueDepth = m.Gauge("fleet.queue.depth")
 		f.retries = m.Counter("fleet.retries")
 		f.healthyG = m.Gauge("fleet.hosts.healthy")
+		f.fedErrors = m.Counter("fleet.federate.errors")
 	}
 	return f, nil
 }
@@ -173,16 +202,20 @@ func (f *Fleet) Poll() error {
 			defer wg.Done()
 			resp, err := f.request(nil, h.addr, hostproto.Command{Op: hostproto.OpStats})
 			h.mu.Lock()
-			defer h.mu.Unlock()
 			if err != nil {
 				h.healthy = false
 				h.lastErr = err
+				h.mu.Unlock()
 				errs[i] = fmt.Errorf("poll %s: %w", h.addr, err)
 				return
 			}
 			h.stats = resp.Stats
 			h.healthy = true
 			h.lastErr = nil
+			h.mu.Unlock()
+			// The host is up: ride the poll with the federation scrape
+			// (journal tail + counter snapshot). Soft-fail; see federate.
+			f.federate(h.addr)
 		}(i, f.hosts[addr])
 	}
 	wg.Wait()

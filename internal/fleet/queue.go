@@ -70,6 +70,10 @@ type Result struct {
 	NewID string
 	// Err is the last error when the outcome is not Moved.
 	Err error
+	// TraceID is the distributed trace this migration ran under when the
+	// fleet has a tracer (zero otherwise). The source host's key-release
+	// journal record carries the same id — KeyReleaseAudit joins the two.
+	TraceID telemetry.TraceID
 }
 
 // Execute runs every migration in plan concurrently, each bounded by the
@@ -128,14 +132,24 @@ func (f *Fleet) inflightGauge(addr string) *telemetry.Gauge {
 }
 
 // runOne drives one migration to a terminal outcome: attempt, classify,
-// reconcile, back off, repeat within the attempt budget.
-func (f *Fleet) runOne(m Migration) Result {
-	res := Result{Migration: m}
+// reconcile, back off, repeat within the attempt budget. With a tracer
+// configured, the whole lifecycle (attempts, reconciliation polls) runs
+// under one root span whose TraceID is recorded in the Result — the same
+// id the source host stamps on its journal records for this migration.
+func (f *Fleet) runOne(m Migration) (res Result) {
+	res = Result{Migration: m}
+	sp := f.cfg.Tracer.Begin("fleet.migrate",
+		telemetry.String("enclave", m.ID), telemetry.String("from", m.From), telemetry.String("to", m.To))
+	res.TraceID = sp.Context().TraceID
+	defer func() {
+		sp.Annotate(telemetry.String("outcome", res.Outcome.String()), telemetry.Int("attempts", res.Attempts))
+		sp.Fail(res.Err)
+	}()
 	release := f.acquire(m)
 	defer release()
 	for res.Attempts < f.cfg.attempts() {
 		res.Attempts++
-		_, err := f.request(nil, m.From, hostproto.Command{
+		_, err := f.request(sp, m.From, hostproto.Command{
 			Op: hostproto.OpMigrateOut, ID: m.ID, Target: m.To,
 		})
 		if err == nil {

@@ -65,6 +65,10 @@ type Server struct {
 	// tr/met are nil unless telemetry is enabled; all uses are nil-safe.
 	tr  *telemetry.Tracer
 	met *telemetry.Metrics
+	// journal is the structured protocol-event ring, always on (the
+	// appends are allocation-free): it is the daemon's audit trail, served
+	// incrementally through OpEvents and /events. SetJournal resizes it.
+	journal *telemetry.Journal
 }
 
 // New builds a daemon without binding any sockets.
@@ -84,7 +88,7 @@ func New(name, secret string, epc int) (*Server, error) {
 		registry.Add(core.NewDeployment(app, owner))
 	}
 
-	return &Server{
+	s := &Server{
 		name:     name,
 		machine:  machine,
 		host:     enclave.NewBareHost(machine),
@@ -92,7 +96,9 @@ func New(name, secret string, epc int) (*Server, error) {
 		owner:    owner,
 		registry: registry,
 		sessions: core.NewSessionTable(),
-	}, nil
+	}
+	s.SetJournal(telemetry.NewJournal(0))
+	return s, nil
 }
 
 // EnableTelemetry turns on the tracer and metrics registry with the given
@@ -110,6 +116,17 @@ func (s *Server) SetTelemetry(tr *telemetry.Tracer, met *telemetry.Metrics) {
 	s.met = met
 	s.host.Mgr.SetMetrics(met)
 }
+
+// SetJournal replaces the daemon's event journal (cmd/sgxhost uses it to
+// honor -journal-cap) and rewires the EPC manager's pressure events to
+// it. Must be called before the server starts serving.
+func (s *Server) SetJournal(j *telemetry.Journal) {
+	s.journal = j
+	s.host.Mgr.SetJournal(j)
+}
+
+// Journal returns the daemon's event journal.
+func (s *Server) Journal() *telemetry.Journal { return s.journal }
 
 // Tracer returns the daemon's tracer (nil when telemetry is off).
 func (s *Server) Tracer() *telemetry.Tracer { return s.tr }
@@ -212,6 +229,8 @@ func (s *Server) handle(cmd hostproto.Command) hostproto.Response {
 		resp = s.list()
 	case hostproto.OpStats:
 		resp = hostproto.Response{Stats: s.Stats()}
+	case hostproto.OpEvents:
+		resp = s.events(cmd)
 	case hostproto.OpMigrateOut:
 		sp = s.tr.BeginRemote("host.migrateout", ctx,
 			telemetry.String("enclave", cmd.ID), telemetry.String("target", cmd.Target))
@@ -304,6 +323,18 @@ func (s *Server) Stats() hostproto.HostStats {
 	return st
 }
 
+// events answers OpEvents: the journal tail after the request's cursor
+// plus a counter snapshot, from which the fleet federator builds the
+// merged event stream and per-host rate series.
+func (s *Server) events(cmd hostproto.Command) hostproto.Response {
+	recs, next := s.journal.Since(cmd.Cursor)
+	return hostproto.Response{
+		Events:     recs,
+		NextCursor: next,
+		Counters:   s.met.CounterValues(),
+	}
+}
+
 // migrateOut ships one of our enclaves to another sgxhost. The op span sp
 // (may be nil) parents the core migration phases and its context is
 // forwarded to the target host, whose spans come back in a TraceShipment
@@ -342,7 +373,8 @@ func (s *Server) migrateOut(cmd hostproto.Command, sp *telemetry.Span) hostproto
 	if s.migrationHook != nil {
 		ts = s.migrationHook(cmd.ID, ts)
 	}
-	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met}
+	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met,
+		Journal: s.journal, EnclaveID: cmd.ID}
 	// The handshake, the migration messages, and the trailing TraceShipment
 	// all ride the one stream NewConnStream owns: a second decoder on the
 	// same conn would lose buffered bytes.
@@ -429,7 +461,8 @@ func (s *Server) handleMigrateIn(ts core.Transport, dec *gob.Decoder, enc *gob.E
 		sp.Fail(err)
 		return
 	}
-	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met}
+	opts := &core.Options{Service: s.service, Trace: sp, Metrics: s.met,
+		Journal: s.journal, EnclaveID: cmd.ID}
 	inc, err := core.MigrateIn(s.host, s.registry, ts, opts)
 	if err != nil {
 		sp.Fail(err)

@@ -22,6 +22,7 @@ const (
 	OpStats      Op = "stats"       // → Stats (capacity/load snapshot for fleet polling)
 	OpMigrateOut Op = "migrate-out" // ID, Target → Report
 	OpMigrateIn  Op = "migrate-in"  // (host-to-host) switches the conn to a migration transport
+	OpEvents     Op = "events"      // Cursor → Events, NextCursor, Counters (journal tail + counter snapshot)
 )
 
 // Command is a client request.
@@ -38,6 +39,9 @@ type Command struct {
 	// The daemon parents its operation span under it, and on OpMigrateIn
 	// the source host forwards it so the target joins the same trace.
 	TraceParent string
+	// Cursor is the OpEvents since-sequence cursor: the daemon returns
+	// only journal records with Seq > Cursor (0 = everything retained).
+	Cursor uint64
 }
 
 // HostStats is the OpStats payload: one host's capacity and load
@@ -74,6 +78,13 @@ type Response struct {
 	// returned only when the request carried a TraceParent. The client
 	// Adopts it so `sgxmigrate -trace` emits one merged timeline.
 	Trace telemetry.WireTrace
+	// Events/NextCursor answer OpEvents: the journal records after the
+	// request's Cursor and the cursor to resume from next scrape.
+	Events     []telemetry.Record
+	NextCursor uint64
+	// Counters is the OpEvents-time counter snapshot, from which the
+	// fleet federator derives per-host time-windowed rate series.
+	Counters map[string]int64
 }
 
 // TraceShipment carries the migration target's span buffer back to the

@@ -85,6 +85,7 @@ func TestCommandRoundTrip(t *testing.T) {
 		{Op: OpMigrateOut, ID: "enclave-7", Target: "host-b:7001"},
 		{Op: OpMigrateIn, ID: "enclave-7",
 			TraceParent: "00-0102030405060708090a0b0c0d0e0f10-0807060504030201-01"},
+		{Op: OpEvents, Cursor: 421},
 	}
 	for _, in := range cmds {
 		var buf bytes.Buffer
@@ -117,6 +118,19 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Err: "no enclave \"x\""},
 		{Report: "total=1ms", Trace: wireTraceFixture()},
 		{Stats: hostStatsFixture()},
+		{ // OpEvents payload: journal tail plus counter snapshot.
+			Events: []telemetry.Record{{
+				Seq:       9,
+				WallNs:    1_700_000_000_000_000_042,
+				TraceID:   telemetry.TraceID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+				SpanID:    telemetry.SpanID{8, 7, 6, 5, 4, 3, 2, 1},
+				Kind:      telemetry.EventKeyRelease,
+				EnclaveID: "counter-1",
+				Attrs:     []telemetry.Attr{{Key: "sealed_bytes", Val: "48"}},
+			}},
+			NextCursor: 9,
+			Counters:   map[string]int64{"host.migrations.out": 3},
+		},
 	}
 	for i, in := range resps {
 		var buf bytes.Buffer

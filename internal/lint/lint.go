@@ -201,11 +201,17 @@ func DefaultConfig(modPath string) *Config {
 			modPath + "/internal/core.MsgKind",
 			modPath + "/internal/core.FrameKind",
 			modPath + "/internal/hostproto.Op",
+			modPath + "/internal/telemetry.EventKind",
 		},
 		WireRecvFns: []string{"recvKind", "recvBulk"},
 		WireStructs: []WireStruct{
 			{
 				Type:   modPath + "/internal/core.Message",
+				Encode: "(*encoding/gob.Encoder).Encode",
+				Decode: "(*encoding/gob.Decoder).Decode",
+			},
+			{
+				Type:   modPath + "/internal/telemetry.Record",
 				Encode: "(*encoding/gob.Encoder).Encode",
 				Decode: "(*encoding/gob.Decoder).Decode",
 			},

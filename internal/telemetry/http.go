@@ -4,26 +4,43 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // Handler serves the live observability endpoints:
 //
-//	GET /metrics       plain-text snapshot of every instrument
-//	GET /debug/trace   Chrome trace-event JSON of every span so far
-//	GET /debug/pprof/  net/http/pprof profiles (CPU, heap, goroutine, ...)
-//	GET /              a short index
+//	GET /metrics        plain-text snapshot of every instrument
+//	GET /metrics/prom   the same registry in Prometheus text exposition
+//	GET /events?since=N event-journal records after cursor N, as JSON
+//	GET /debug/trace    Chrome trace-event JSON of every span so far
+//	GET /debug/pprof/   net/http/pprof profiles (CPU, heap, goroutine, ...)
+//	GET /               a short index
 //
-// cmd/sgxhost mounts it behind the -telemetry-addr flag. Either argument
-// may be nil; the endpoints then serve the empty disabled forms, so a
-// scraper never sees a 500 just because a subsystem is dark. pprof is
-// mounted explicitly on this mux (not the http.DefaultServeMux side
-// effect), so profiles come from the same port as /metrics and are only
-// exposed when the operator opted into a telemetry listener.
-func Handler(tr *Tracer, m *Metrics) http.Handler {
+// cmd/sgxhost mounts it behind the -telemetry-addr flag, and sgxfleet
+// watch mounts it over the fleet-merged journal. Any argument may be nil;
+// the endpoints then serve the empty disabled forms, so a scraper never
+// sees a 500 just because a subsystem is dark. pprof is mounted
+// explicitly on this mux (not the http.DefaultServeMux side effect), so
+// profiles come from the same port as /metrics and are only exposed when
+// the operator opted into a telemetry listener.
+func Handler(tr *Tracer, m *Metrics, j *Journal) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = m.WriteText(w)
+	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WriteProm(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		since, err := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
+		if err != nil && r.URL.Query().Get("since") != "" {
+			http.Error(w, "since must be an unsigned integer cursor", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = j.WriteEventsJSON(w, since)
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -41,8 +58,8 @@ func Handler(tr *Tracer, m *Metrics) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "sgxmig telemetry\n\n/metrics      instrument snapshot\n/debug/trace  Chrome trace JSON (%d spans done, %d running)\n/debug/pprof/ runtime profiles\n",
-			len(tr.Completed()), tr.ActiveCount())
+		fmt.Fprintf(w, "sgxmig telemetry\n\n/metrics       instrument snapshot\n/metrics/prom  Prometheus text exposition\n/events        event journal (%d records; ?since=N for the tail)\n/debug/trace   Chrome trace JSON (%d spans done, %d running)\n/debug/pprof/  runtime profiles\n",
+			j.Len(), len(tr.Completed()), tr.ActiveCount())
 	})
 	return mux
 }

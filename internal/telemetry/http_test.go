@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHandlerConcurrent hammers the observability mux from concurrent
+// readers while writers churn every sink — counters, histogram, spans,
+// journal — under the race detector. Each exposition body must be
+// internally consistent (no torn lines, valid JSON), and the bounded
+// rings must hold the buffers flat no matter how many events the writers
+// push.
+func TestHandlerConcurrent(t *testing.T) {
+	const (
+		journalCap = 64
+		writers    = 4
+		readers    = 4
+		rounds     = 200
+	)
+	tr := NewSeeded(11)
+	tr.SetSpanCap(journalCap)
+	m := NewMetrics()
+	j := NewJournal(journalCap)
+	h := Handler(tr, m, j)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				m.Counter("host.ops.call").Inc()
+				m.Histogram("vmm.pagecopy.ns", []int64{100, 1000}).Observe(int64(i))
+				sp := tr.Begin("req", Int("writer", w))
+				j.Append(EventPrecopyRound, fmt.Sprintf("vm-%d", w), sp.Context(), Int("round", i))
+				sp.End()
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				var rec *httptest.ResponseRecorder
+				switch i % 3 {
+				case 0:
+					rec = httptest.NewRecorder()
+					h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				case 1:
+					rec = httptest.NewRecorder()
+					h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics/prom", nil))
+					sc := bufio.NewScanner(strings.NewReader(rec.Body.String()))
+					for sc.Scan() {
+						line := sc.Text()
+						if strings.HasPrefix(line, "#") {
+							continue
+						}
+						if len(strings.Fields(line)) != 2 {
+							t.Errorf("torn exposition line %q", line)
+						}
+					}
+				default:
+					rec = httptest.NewRecorder()
+					h.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/events?since=%d", i), nil))
+					var out struct {
+						Next   uint64            `json:"next"`
+						Events []json.RawMessage `json:"events"`
+					}
+					if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+						t.Errorf("reader %d: /events not JSON: %v", r, err)
+					}
+				}
+				if rec.Code != 200 {
+					t.Errorf("reader %d round %d: code %d", r, i, rec.Code)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Flat memory: the rings must have evicted, not grown. writers*rounds
+	// events went in; only journalCap may remain.
+	if got := j.Len(); got != journalCap {
+		t.Errorf("journal retains %d records, want the cap %d", got, journalCap)
+	}
+	if got := len(tr.Completed()); got > journalCap {
+		t.Errorf("tracer retains %d spans, cap is %d", got, journalCap)
+	}
+	if got := m.Counter("host.ops.call").Value(); got != writers*rounds {
+		t.Errorf("counter = %d, want %d (lost increments)", got, writers*rounds)
+	}
+	recs, cur := j.Since(0)
+	if cur != writers*rounds {
+		t.Errorf("final cursor = %d, want %d", cur, writers*rounds)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Errorf("journal gap: %d then %d", recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+}

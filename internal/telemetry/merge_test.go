@@ -242,7 +242,7 @@ func TestSpanCapBoundsBuffer(t *testing.T) {
 }
 
 func TestHTTPHandlerPprof(t *testing.T) {
-	h := Handler(New(), NewMetrics())
+	h := Handler(New(), NewMetrics(), NewJournal(0))
 	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)

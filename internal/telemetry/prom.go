@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promName maps an instrument name to the Prometheus metric-name charset:
+// dots and every other illegal rune become underscores, and a leading
+// digit is prefixed. "host.migrations.out" → "host_migrations_out".
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm dumps every instrument in the Prometheus text exposition
+// format (version 0.0.4): counters as <name>_total, gauges plain, ratios
+// as a hit/observation counter pair, histograms with cumulative
+// le-labelled buckets plus _sum and _count. Names are sanitized by
+// promName and emitted sorted, each with # HELP/# TYPE headers, so any
+// Prometheus-compatible scraper can ingest the same registry /metrics
+// serves in the homegrown plain format. A nil registry writes only a
+// comment, which still parses as an empty exposition.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	if m == nil {
+		_, err := fmt.Fprintln(w, "# telemetry disabled")
+		return err
+	}
+	m.mu.Lock()
+	counters := make(map[string]*Counter, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(m.hists))
+	for k, v := range m.hists {
+		hists[k] = v
+	}
+	ratios := make(map[string]*Ratio, len(m.ratios))
+	for k, v := range m.ratios {
+		ratios[k] = v
+	}
+	m.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			pn, name, pn, pn, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			pn, name, pn, pn, gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(ratios) {
+		r := ratios[name]
+		hitName := promName(name) + "_hits_total"
+		obsName := promName(name) + "_observations_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s hits of ratio %s\n# TYPE %s counter\n%s %d\n",
+			hitName, name, hitName, hitName, r.Hits()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s observations of ratio %s\n# TYPE %s counter\n%s %d\n",
+			obsName, name, obsName, obsName, r.Total()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		s := hists[name].Snapshot()
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", pn, name, pn); err != nil {
+			return err
+		}
+		// Prometheus buckets are cumulative; the homegrown snapshot's are
+		// per-bucket, so accumulate while emitting.
+		var cum int64
+		for i, b := range s.Bounds {
+			cum += s.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b, cum); err != nil {
+				return err
+			}
+		}
+		cum += s.Counts[len(s.Counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, cum, pn, s.Sum, pn, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CounterValues snapshots every counter by name. The fleet federator
+// scrapes it (via the OpEvents response) to build per-host rate series; a
+// nil registry snapshots to nil.
+func (m *Metrics) CounterValues() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters))
+	for k, c := range m.counters {
+		out[k] = c.Value()
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPromName pins the sanitizer: dotted instrument names become legal
+// Prometheus metric names and nothing else leaks through.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"host.migrations.out": "host_migrations_out",
+		"epcman.frames.free":  "epcman_frames_free",
+		"weird name-1":        "weird_name_1",
+		"9lives":              "_9lives",
+		"a:b_c":               "a:b_c",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+var (
+	promSample  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="(\+Inf|-?\d+)"\})? -?\d+(\.\d+)?$`)
+	promComment = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+)
+
+// TestWritePromParses fills one instrument of each family and checks the
+// exposition is well-formed line by line — every sample matches the text
+// format grammar, every metric has a TYPE declared before its samples,
+// and histogram buckets are cumulative and end at +Inf.
+func TestWritePromParses(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("host.migrations.out").Add(3)
+	m.Gauge("epcman.frames.free").Set(120)
+	m.Ratio("vmm.delta.hit").Observe(true)
+	m.Ratio("vmm.delta.hit").Observe(false)
+	h := m.Histogram("vmm.pagecopy.ns", []int64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Errorf("malformed comment line %q", line)
+			}
+			if strings.HasPrefix(line, "# TYPE ") {
+				typed[strings.Fields(line)[2]] = true
+			}
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		base := strings.SplitN(strings.Fields(line)[0], "{", 2)[0]
+		metric := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(base, "_bucket"), "_sum"), "_count")
+		if !typed[metric] && !typed[base] {
+			t.Errorf("sample %q has no preceding # TYPE", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE host_migrations_out_total counter",
+		"host_migrations_out_total 3",
+		"# TYPE epcman_frames_free gauge",
+		"epcman_frames_free 120",
+		"vmm_delta_hit_hits_total 1",
+		"vmm_delta_hit_observations_total 2",
+		"# TYPE vmm_pagecopy_ns histogram",
+		`vmm_pagecopy_ns_bucket{le="100"} 1`,
+		`vmm_pagecopy_ns_bucket{le="1000"} 2`,
+		`vmm_pagecopy_ns_bucket{le="+Inf"} 3`,
+		"vmm_pagecopy_ns_sum 5550",
+		"vmm_pagecopy_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePromNil pins the disabled form: a comment-only document, which
+// still parses as an empty exposition.
+func TestWritePromNil(t *testing.T) {
+	var m *Metrics
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "# telemetry disabled\n" {
+		t.Fatalf("nil exposition = %q", got)
+	}
+	if m.CounterValues() != nil {
+		t.Fatal("nil CounterValues should be nil")
+	}
+}
+
+// TestCounterValues checks the federation snapshot sees every counter at
+// its current value without disturbing the registry.
+func TestCounterValues(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a").Add(2)
+	m.Counter("b").Inc()
+	vals := m.CounterValues()
+	if len(vals) != 2 || vals["a"] != 2 || vals["b"] != 1 {
+		t.Fatalf("CounterValues = %v", vals)
+	}
+	m.Counter("a").Inc()
+	if vals["a"] != 2 {
+		t.Fatal("snapshot must not alias live counters")
+	}
+}

@@ -364,7 +364,9 @@ func TestHTTPHandler(t *testing.T) {
 	m := NewMetrics()
 	m.Counter("hits").Inc()
 	tr.Begin("req").End()
-	h := Handler(tr, m)
+	j := NewJournal(8)
+	j.Append(EventQuiesce, "counter-1", Context{})
+	h := Handler(tr, m, j)
 
 	get := func(path string) *httptest.ResponseRecorder {
 		rec := httptest.NewRecorder()
@@ -389,8 +391,18 @@ func TestHTTPHandler(t *testing.T) {
 		t.Errorf("unknown path code %d, want 404", rec.Code)
 	}
 
-	// Both sinks nil: endpoints still answer.
-	dark := Handler(nil, nil)
+	if rec := get("/metrics/prom"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Errorf("/metrics/prom: code %d body %q", rec.Code, rec.Body.String())
+	}
+	if rec := get("/events"); rec.Code != 200 || !strings.Contains(rec.Body.String(), `"kind":"quiesce"`) {
+		t.Errorf("/events: code %d body %q", rec.Code, rec.Body.String())
+	}
+	if rec := get("/events?since=zap"); rec.Code != 400 {
+		t.Errorf("/events with bad cursor: code %d, want 400", rec.Code)
+	}
+
+	// All sinks nil: endpoints still answer.
+	dark := Handler(nil, nil, nil)
 	rec = httptest.NewRecorder()
 	dark.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if rec.Code != 200 {

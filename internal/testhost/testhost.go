@@ -31,6 +31,11 @@ type Options struct {
 	// write race-free; dynamic per-migration behaviour belongs inside the
 	// hook, keyed by the migrating session's id.
 	MigrationHook func(id string, ts core.Transport) core.Transport
+	// JournalCap overrides the protocol-event journal ring size (default
+	// telemetry.DefaultJournalCap). Fault sweeps that replay many
+	// migrations between scrapes raise it so early records survive
+	// eviction until the fleet federates them.
+	JournalCap int
 }
 
 func (o Options) secret() string {
@@ -66,6 +71,9 @@ func Start(name string, seed uint64, opt Options) (*Host, error) {
 	tr := telemetry.NewSeeded(seed)
 	tr.SetSampling(opt.Sample)
 	s.SetTelemetry(tr, telemetry.NewMetrics())
+	if opt.JournalCap > 0 {
+		s.SetJournal(telemetry.NewJournal(opt.JournalCap))
+	}
 	if opt.MigrationHook != nil {
 		s.SetMigrationTransportHook(opt.MigrationHook)
 	}

@@ -660,6 +660,8 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 			telemetry.Int("round", round), telemetry.Int("pages", len(dirty)))
 		snd.send(vm.Mem, dirty, cfg.chunkPages(), &stats.PreCopyBytes, &stats.PreCopyWireBytes, roundSp.Context())
 		roundSp.End()
+		opts.Journal.Append(telemetry.EventPrecopyRound, vm.Name, roundSp.Context(),
+			telemetry.Int("round", round), telemetry.Int("pages", len(dirty)))
 		roundHist.Observe(int64(len(dirty)) * PageSize)
 		if !converged {
 			continue
@@ -709,6 +711,8 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 		return fail(err)
 	}
 	scSp.End()
+	opts.Journal.Append(telemetry.EventStopCopy, vm.Name, scSp.Context(),
+		telemetry.Int("pages", len(final)))
 	roundHist.Observe(int64(len(final)) * PageSize)
 
 	// Per-enclave secure migration. Each enclave gets an internal control
@@ -862,6 +866,8 @@ func LiveMigrate(vm *VM, dst *Node, cfg *LiveMigrationConfig) (*VM, *LiveMigrati
 	// of truth for the phase timings.
 	stats.Downtime = downSp.Duration() + stats.EnclaveDumpTime - stats.DumpPrecopyOverlap
 	stats.TotalTime = root.Duration()
+	opts.Journal.Append(telemetry.EventDowntime, vm.Name, downSp.Context(),
+		telemetry.Duration("downtime", stats.Downtime))
 	// Logical total partitions exactly into the per-phase counters; the
 	// wire total adds the framed stream's real encoded size to the control
 	// traffic (which has no framed encoding — its estimate counts 1:1).
